@@ -1,0 +1,58 @@
+// Classifier-family ablation (Section 3.2): the paper tried decision trees,
+// saw near-zero training error on the sparse road-following data, and
+// rejected them as overfit-prone in favour of SVM and Naive Bayes. This
+// bench quantifies that choice: training error vs 10-fold CV error and
+// descriptor size for every family in the library, on the same channel.
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/ml/cross_validation.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Classifier ablation — overfitting gap and descriptor cost\n");
+  bench::Campaign campaign;
+
+  constexpr int kChannel = 46;
+  const campaign::ChannelDataset& ds =
+      campaign.dataset(bench::SensorKind::kUsrpB200, kChannel);
+  const std::vector<int>& labels =
+      campaign.labels(bench::SensorKind::kUsrpB200, kChannel);
+  const ml::Matrix x = core::build_features(ds, 3);
+
+  bench::print_title("channel 46, location + RSS + CFT, 10-fold CV");
+  bench::print_row({"classifier", "train_err", "cv_err", "overfit_gap",
+                    "descriptor_B"},
+                   14);
+  for (const char* kind :
+       {"svm", "naive_bayes", "logistic_regression", "decision_tree",
+        "knn"}) {
+    // Training error on the full set.
+    auto full = core::make_classifier(kind);
+    full->fit(x, labels);
+    ml::ConfusionMatrix train_cm;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      train_cm.add(full->predict(x.row(i)), labels[i]);
+    }
+    // Generalisation error.
+    ml::CrossValidationConfig cv;
+    cv.max_train_samples = 1000;
+    const auto result = ml::cross_validate(
+        x, labels, [kind] { return core::make_classifier(kind); }, cv);
+    const double gap =
+        result.overall.error_rate() - train_cm.error_rate();
+    bench::print_row({kind, bench::fmt(train_cm.error_rate(), 4),
+                      bench::fmt(result.overall.error_rate(), 4),
+                      bench::fmt(gap, 4),
+                      std::to_string(full->descriptor_size_bytes())},
+                     14);
+  }
+  std::printf(
+      "\nPaper shape: the decision tree memorises (near-zero training"
+      " error, larger CV\ngap) — the 'maximum error of 1%% ... can be a"
+      " result of overfitting' observation\nthat led the paper to SVM and"
+      " NB. kNN's descriptor is the whole training set,\ndisqualifying it"
+      " for model download.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Localization ablation (Section 6 monitoring application): transmitter
+// position error of the RSS-only locator versus (a) the sensing hardware's
+// dynamic range and (b) the campaign size. Low-cost sensors saturate at
+// their floor, which removes the far-field gradient the fit needs — one
+// more place where the analyzer's depth matters.
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/core/transmitter_locator.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Localization ablation — finding the incumbents from drive-by"
+              " RSS\n");
+  bench::Campaign campaign(4000);
+
+  bench::print_title("(a) error by sensor, channel sweep");
+  bench::print_row({"channel", "FieldFox_km", "USRP_km", "RTL_km"}, 14);
+  for (const int ch : {21, 27, 39, 46}) {
+    const rf::Transmitter* truth =
+        campaign.environment().transmitters_on(ch).front();
+    std::vector<std::string> row{std::to_string(ch)};
+    for (const bench::SensorKind kind :
+         {bench::SensorKind::kSpectrumAnalyzer, bench::SensorKind::kUsrpB200,
+          bench::SensorKind::kRtlSdr}) {
+      core::LocatorConfig cfg;
+      // Each device trusts readings down to its own compression knee.
+      cfg.min_rss_dbm = kind == bench::SensorKind::kSpectrumAnalyzer
+                            ? -105.0
+                            : (kind == bench::SensorKind::kUsrpB200 ? -86.0
+                                                                    : -83.0);
+      const auto estimate =
+          core::locate_transmitter(campaign.dataset(kind, ch), cfg);
+      row.push_back(estimate
+                        ? bench::fmt(geo::distance_m(estimate->position,
+                                                     truth->location) /
+                                         1000.0,
+                                     1)
+                        : "no fix");
+    }
+    bench::print_row(row, 14);
+  }
+
+  bench::print_title("(b) analyzer error vs campaign size (channel 39)");
+  bench::print_row({"readings", "error_km", "exponent", "rmse_dB"}, 12);
+  const rf::Transmitter* truth =
+      campaign.environment().transmitters_on(39).front();
+  for (const std::size_t n : {250u, 1000u, 4000u}) {
+    bench::Campaign sub(n, 7);
+    core::LocatorConfig cfg;
+    cfg.min_rss_dbm = -105.0;
+    const auto estimate = core::locate_transmitter(
+        sub.dataset(bench::SensorKind::kSpectrumAnalyzer, 39), cfg);
+    if (!estimate) {
+      bench::print_row({std::to_string(n), "no fix", "-", "-"}, 12);
+      continue;
+    }
+    bench::print_row(
+        {std::to_string(n),
+         bench::fmt(geo::distance_m(estimate->position, truth->location) /
+                        1000.0,
+                    1),
+         bench::fmt(estimate->path_loss_exponent, 2),
+         bench::fmt(estimate->rmse_db, 1)},
+        12);
+  }
+  std::printf(
+      "\nExpected shape: on strong (blanket) channels every sensor"
+      " localises well; on\nweak coverage-edge channels the analyzer's"
+      " dynamic range wins because low-cost\nfloors truncate the range"
+      " gradient. More readings tighten and stabilise the fit.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Two-collection-sets ablation (Section 2.1): the paper gathered its data
+// in two sets several months apart and reused the same calibration factors
+// across both. This bench reproduces that protocol: calibrate the sensors
+// once, drive the metro in spring, drive the "months later" world (fresh
+// small-scale fading, foliage on every obstruction, aged sensor gain) with
+// the SAME calibration, and measure how stable labels and models are.
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/core/model_constructor.hpp"
+#include "waldo/ml/stats.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Seasonal ablation — two collection sets, one calibration\n");
+
+  const rf::Environment spring = rf::make_metro_environment();
+  const rf::Environment autumn = rf::seasonal_variant(spring);
+  const geo::DrivePath route = campaign::standard_route(spring, 4000, 99);
+
+  // One physical RTL-SDR: calibrated once, aged before the second set.
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 3);
+  rtl.calibrate();
+
+  bench::print_title("label stability and calibration accuracy per channel");
+  bench::print_row({"channel", "safe_spring", "safe_autumn", "agreement",
+                    "readback_err_dB"},
+                   16);
+  double agreement_sum = 0.0;
+  std::size_t evaluated = 0;
+  for (const int ch : rf::kEvaluationChannels) {
+    auto set_a = campaign::collect_channel(spring, rtl, ch, route.readings);
+    rtl.set_gain_drift_db(0.4);  // months of temperature/ageing drift
+    auto set_b = campaign::collect_channel(autumn, rtl, ch, route.readings);
+    rtl.set_gain_drift_db(0.0);
+
+    const auto labels_a =
+        campaign::label_readings(set_a.positions(), set_a.rss_values());
+    const auto labels_b =
+        campaign::label_readings(set_b.positions(), set_b.rss_values());
+    std::size_t agree = 0;
+    double readback_err = 0.0;
+    for (std::size_t i = 0; i < labels_a.size(); ++i) {
+      agree += labels_a[i] == labels_b[i] ? 1 : 0;
+      readback_err += std::abs(set_b.readings[i].rss_dbm -
+                               set_b.readings[i].true_rss_dbm);
+    }
+    const double agreement =
+        static_cast<double>(agree) / static_cast<double>(labels_a.size());
+    agreement_sum += agreement;
+    ++evaluated;
+    // Readback error is meaningful only where the signal is above floor;
+    // report it over decodable readings.
+    std::size_t strong = 0;
+    double strong_err = 0.0;
+    for (const campaign::Measurement& m : set_b.readings) {
+      if (m.true_rss_dbm >= -84.0) {
+        strong_err += std::abs(m.rss_dbm - m.true_rss_dbm);
+        ++strong;
+      }
+    }
+    bench::print_row(
+        {std::to_string(ch), bench::fmt(campaign::safe_fraction(labels_a)),
+         bench::fmt(campaign::safe_fraction(labels_b)),
+         bench::fmt(agreement),
+         strong > 0 ? bench::fmt(strong_err / static_cast<double>(strong), 2)
+                    : "-"},
+        16);
+  }
+  std::printf("mean cross-season label agreement: %.3f\n",
+              agreement_sum / static_cast<double>(evaluated));
+
+  // Does a spring-trained model survive autumn? (The deployment question:
+  // how often must the central database re-campaign?)
+  bench::print_title("spring-trained model evaluated on autumn data (ch 46)");
+  sensors::Sensor spring_unit(sensors::rtl_sdr_spec(), 5);
+  spring_unit.calibrate();
+  auto train = campaign::collect_channel(spring, spring_unit, 46,
+                                         route.readings);
+  core::ModelConstructorConfig mc;
+  mc.classifier = "svm";
+  mc.num_features = 3;
+  mc.num_localities = 3;
+  mc.max_train_samples = 800;
+  const core::WhiteSpaceModel model =
+      core::ModelConstructor(mc).build_with_labeling(train);
+
+  sensors::Sensor autumn_unit(sensors::rtl_sdr_spec(), 6);
+  autumn_unit.calibrate();
+  autumn_unit.set_gain_drift_db(0.4);
+  auto test = campaign::collect_channel(autumn, autumn_unit, 46,
+                                        route.readings);
+  const auto test_labels =
+      campaign::label_readings(test.positions(), test.rss_values());
+  ml::ConfusionMatrix cm;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const campaign::Measurement& m = test.readings[i];
+    const auto row =
+        core::feature_row(m.position, m.rss_dbm, m.cft_db, m.aft_db, 3);
+    cm.add(model.predict(row), test_labels[i]);
+  }
+  std::printf("error %.3f, FP %.3f, FN %.3f\n", cm.error_rate(),
+              cm.fp_rate(), cm.fn_rate());
+  std::printf(
+      "\nExpected shape: calibration reuse across seasons is sound (the"
+      " paper's\nrobustness claim) — readback stays accurate, labels agree"
+      " away from contours,\nand a spring model degrades gracefully rather"
+      " than catastrophically, with the\nerror concentrated at coverage"
+      " boundaries that foliage shifted.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regulation ablation (Section 6): the FCC reduced the portable-WSD
+// separation distance from 6 km (2010) to 4 km (2012) to 1.7 km (2015).
+// Algorithm 1's separation radius is a parameter here, so the bench sweeps
+// the three regimes and reports how much white space each rule releases
+// and how Waldo's detection quality responds.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Separation-distance ablation — FCC rule evolution 6 km -> "
+              "4 km -> 1.7 km\n");
+  bench::Campaign campaign;
+
+  struct Rule {
+    const char* name;
+    double separation_m;
+  };
+  const Rule rules[] = {{"2010 rule (6 km)", 6000.0},
+                        {"2012 rule (4 km)", 4000.0},
+                        {"2015 rule (1.7 km)", 1700.0}};
+
+  for (const Rule& rule : rules) {
+    bench::print_title(rule.name);
+    bench::print_row({"channel", "safe_frac", "NB_error", "SVM_error"}, 14);
+    double frac_sum = 0.0;
+    std::size_t evaluated = 0;
+    for (const int ch : rf::kEvaluationChannels) {
+      const campaign::ChannelDataset& ds =
+          campaign.dataset(bench::SensorKind::kUsrpB200, ch);
+      campaign::LabelingConfig lab;
+      lab.separation_m = rule.separation_m;
+      const std::vector<int> labels = campaign::label_readings(
+          ds.positions(), ds.rss_values(), lab);
+      const double frac = campaign::safe_fraction(labels);
+      frac_sum += frac;
+      ++evaluated;
+
+      ml::CrossValidationConfig cv;
+      cv.folds = 5;
+      cv.max_train_samples = 800;
+      const ml::Matrix x = core::build_features(ds, 3);
+      const double nb_err =
+          ml::cross_validate(x, labels,
+                             [] { return core::make_classifier("naive_bayes"); },
+                             cv)
+              .overall.error_rate();
+      const double svm_err =
+          ml::cross_validate(x, labels,
+                             [] { return core::make_classifier("svm"); }, cv)
+              .overall.error_rate();
+      bench::print_row({std::to_string(ch), bench::fmt(frac),
+                        bench::fmt(nb_err), bench::fmt(svm_err)},
+                       14);
+    }
+    std::printf("mean white-space availability: %.3f\n",
+                frac_sum / static_cast<double>(evaluated));
+  }
+  std::printf(
+      "\nExpected shape: every relaxation of the separation rule releases"
+      " more white\nspace (safe fraction grows monotonically) while Waldo's"
+      " model keeps tracking the\nshifted boundary with comparable error.\n");
+  return 0;
+}

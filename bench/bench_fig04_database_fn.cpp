@@ -1,0 +1,62 @@
+// Figure 4: false-negative rate of a conventional (Google-style) spectrum
+// database versus white spaces actually detected by spectrum-analyzer
+// measurements, per channel — (a) without and (b) with the antenna
+// correction factor. Databases are safe but overprotective: FN is large on
+// partially occupied channels and zero on the blanket channels 27/39.
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/baselines/geo_database.hpp"
+#include "waldo/ml/metrics.hpp"
+
+using namespace waldo;
+
+namespace {
+
+void run_variant(bench::Campaign& campaign, double correction_db,
+                 const char* title) {
+  bench::print_title(title);
+  bench::print_row({"channel", "safe_frac", "DB_FN", "DB_FP", "DB_error"});
+  double fn_sum = 0.0;
+  std::size_t evaluated = 0;
+  for (const int ch : rf::kPaperChannels) {
+    const campaign::ChannelDataset& ds =
+        campaign.dataset(bench::SensorKind::kSpectrumAnalyzer, ch);
+    const std::vector<int>& labels =
+        campaign.labels(bench::SensorKind::kSpectrumAnalyzer, ch,
+                        correction_db);
+    const baselines::GeoDatabase db(campaign.environment(), ch);
+    ml::ConfusionMatrix cm;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      cm.add(db.classify(ds.readings[i].position), labels[i]);
+    }
+    bench::print_row({std::to_string(ch),
+                      bench::fmt(campaign::safe_fraction(labels)),
+                      bench::fmt(cm.fn_rate()), bench::fmt(cm.fp_rate()),
+                      bench::fmt(cm.error_rate())});
+    if (cm.actually_safe() > 0) {
+      fn_sum += cm.fn_rate();
+      ++evaluated;
+    }
+  }
+  if (evaluated > 0) {
+    std::printf("mean FN over channels with white space: %.3f\n",
+                fn_sum / static_cast<double>(evaluated));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Campaign campaign;
+  std::printf("Figure 4 — spectrum-database false negatives vs "
+              "spectrum-analyzer ground truth\n");
+  run_variant(campaign, 0.0, "(a) no antenna correction factor");
+  run_variant(campaign, campaign.environment().antenna_correction_db(),
+              "(b) +7.5 dB antenna correction factor");
+  std::printf(
+      "\nPaper shape: FN 0.1-0.6 on partially occupied channels, 0 on fully"
+      " occupied ones;\ncorrection reduces detected white space but database"
+      " error remains high.\n");
+  return 0;
+}

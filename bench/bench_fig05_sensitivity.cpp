@@ -1,0 +1,81 @@
+// Figure 5: CDFs of raw USRP and RTL-SDR readings for calibrated
+// signal-generator input levels. The RTL-SDR CDF collapses onto the
+// no-signal CDF below ~-98 dBm; the USRP distinguishes levels down to
+// ~-103 dBm but with a visibly wider CDF.
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/ml/stats.hpp"
+
+using namespace waldo;
+
+namespace {
+
+constexpr int kReadingsPerLevel = 1000;
+
+std::vector<double> sweep(sensors::Sensor& sensor, double level_dbm) {
+  std::vector<double> readings(kReadingsPerLevel);
+  for (double& r : readings) r = sensor.measure_wired_raw(level_dbm);
+  return readings;
+}
+
+void print_cdf_table(const char* title, sensors::Sensor& sensor,
+                     const std::vector<double>& levels) {
+  bench::print_title(title);
+  std::vector<std::string> header{"percentile"};
+  for (const double l : levels) {
+    header.push_back(l < -150.0 ? "no signal" : bench::fmt(l, 0) + " dBm");
+  }
+  bench::print_row(header);
+  std::vector<std::vector<double>> sweeps;
+  sweeps.reserve(levels.size());
+  for (const double l : levels) sweeps.push_back(sweep(sensor, l));
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    std::vector<std::string> row{bench::fmt(q, 2)};
+    for (const auto& s : sweeps) row.push_back(bench::fmt(ml::quantile(s, q), 2));
+    bench::print_row(row);
+  }
+}
+
+/// Median shift of the detector statistic over its no-signal baseline, in
+/// dB. A signal is detectable once it at least doubles the statistic
+/// (+3 dB, the classic SNR >= 0 dB criterion) — which puts the knee at the
+/// device's equivalent noise floor.
+void print_detectability(const char* name, sensors::Sensor& sensor,
+                         const std::vector<double>& levels) {
+  const std::vector<double> silence = sweep(sensor, -200.0);
+  const double base = ml::quantile(silence, 0.5);
+  bench::print_title(std::string(name) + " detectability vs silence");
+  bench::print_row({"level_dBm", "gap_dB", "detectable(>=3dB)"}, 20);
+  for (const double l : levels) {
+    const double gap = (ml::quantile(sweep(sensor, l), 0.5) - base) /
+                       sensor.spec().raw_slope;
+    bench::print_row({bench::fmt(l, 0), bench::fmt(gap, 2),
+                      gap >= 3.0 ? "yes" : "no"},
+                     20);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5 — sensor reading CDFs for calibrated generator "
+              "inputs (raw device units)\n");
+  bench::Campaign campaign(600);  // only needs sensors, keep it light
+
+  sensors::Sensor usrp = campaign.make_sensor(bench::SensorKind::kUsrpB200, 7);
+  print_cdf_table("(a/b) USRP B200 raw-reading CDF quantiles", usrp,
+                  {-50.0, -80.0, -94.0, -103.0, -200.0});
+  print_detectability("USRP B200", usrp,
+                      {-94.0, -100.0, -103.0, -106.0, -110.0});
+
+  sensors::Sensor rtl = campaign.make_sensor(bench::SensorKind::kRtlSdr, 8);
+  print_cdf_table("(c/d) RTL-SDR raw-reading CDF quantiles", rtl,
+                  {-70.0, -80.0, -90.0, -94.0, -96.0, -98.0, -200.0});
+  print_detectability("RTL-SDR", rtl, {-90.0, -94.0, -96.0, -98.0, -103.0});
+
+  std::printf(
+      "\nPaper shape: RTL-SDR detects down to ~-98 dBm with a tight CDF;\n"
+      "USRP detects down to ~-103 dBm with higher reading variability.\n");
+  return 0;
+}

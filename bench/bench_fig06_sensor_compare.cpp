@@ -1,0 +1,68 @@
+// Figure 6 + Section 2.2 rates: per-reading detection decisions and RSS of
+// RTL-SDR / USRP / spectrum analyzer on channel 47, and the aggregate
+// misdetection (FN) and false-alarm (FP) rates of the low-cost sensors
+// against the analyzer across all nine channels (paper: RTL 39.8%/0.8%,
+// USRP 20.9%/5.2%).
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/ml/metrics.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Figure 6 — low-cost sensors vs spectrum analyzer\n");
+  bench::Campaign campaign;
+
+  // (a)/(b): a slice of the channel-47 trace.
+  constexpr int kChannel = 47;
+  const auto& sa = campaign.dataset(bench::SensorKind::kSpectrumAnalyzer,
+                                    kChannel);
+  const auto& rtl = campaign.dataset(bench::SensorKind::kRtlSdr, kChannel);
+  const auto& usrp = campaign.dataset(bench::SensorKind::kUsrpB200, kChannel);
+  const auto& lab_sa =
+      campaign.labels(bench::SensorKind::kSpectrumAnalyzer, kChannel);
+  const auto& lab_rtl = campaign.labels(bench::SensorKind::kRtlSdr, kChannel);
+  const auto& lab_usrp =
+      campaign.labels(bench::SensorKind::kUsrpB200, kChannel);
+
+  bench::print_title("(a/b) channel 47 trace sample (every 250th reading)");
+  bench::print_row({"seq", "SA_rss", "RTL_rss", "USRP_rss", "SA", "RTL",
+                    "USRP"},
+                   10);
+  const auto lab = [](int l) { return l == ml::kSafe ? "safe" : "NOT"; };
+  for (std::size_t i = 0; i < sa.size(); i += 250) {
+    bench::print_row({std::to_string(i), bench::fmt(sa.readings[i].rss_dbm, 1),
+                      bench::fmt(rtl.readings[i].rss_dbm, 1),
+                      bench::fmt(usrp.readings[i].rss_dbm, 1), lab(lab_sa[i]),
+                      lab(lab_rtl[i]), lab(lab_usrp[i])},
+                     10);
+  }
+
+  // Aggregate rates over all nine channels.
+  bench::print_title("Section 2.2 rates vs analyzer labels (all channels)");
+  bench::print_row({"channel", "RTL_FN", "RTL_FP", "USRP_FN", "USRP_FP"});
+  ml::ConfusionMatrix rtl_total, usrp_total;
+  for (const int ch : rf::kPaperChannels) {
+    const auto& truth_lab =
+        campaign.labels(bench::SensorKind::kSpectrumAnalyzer, ch);
+    const auto& r = campaign.labels(bench::SensorKind::kRtlSdr, ch);
+    const auto& u = campaign.labels(bench::SensorKind::kUsrpB200, ch);
+    const ml::ConfusionMatrix cm_r = ml::compare_labels(r, truth_lab);
+    const ml::ConfusionMatrix cm_u = ml::compare_labels(u, truth_lab);
+    rtl_total.merge(cm_r);
+    usrp_total.merge(cm_u);
+    bench::print_row({std::to_string(ch), bench::fmt(cm_r.fn_rate()),
+                      bench::fmt(cm_r.fp_rate()), bench::fmt(cm_u.fn_rate()),
+                      bench::fmt(cm_u.fp_rate())});
+  }
+  bench::print_row({"TOTAL", bench::fmt(rtl_total.fn_rate()),
+                    bench::fmt(rtl_total.fp_rate()),
+                    bench::fmt(usrp_total.fn_rate()),
+                    bench::fmt(usrp_total.fp_rate())});
+  std::printf(
+      "\nPaper shape: RTL misdetects more white space than USRP (39.8%% vs"
+      " 20.9%% in the paper)\nwhile both keep false alarms near zero — high"
+      " safety, reduced efficiency.\n");
+  return 0;
+}

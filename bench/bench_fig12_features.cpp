@@ -1,0 +1,89 @@
+// Figure 12: the effect of adding signal features. (a) per-channel error
+// rate for Naive Bayes and SVM with location only vs location + signal
+// features (USRP data); (b) mean FP rate and (c) mean FN rate as features
+// are added in the paper's order (location, +RSS, +CFT, +AFT) for both
+// sensors and both models. 10-fold cross validation throughout.
+//
+// Two SVM configurations are reported: the library default (standardised
+// RBF kernel — the engineering-correct model) and the artifact-faithful
+// mode (raw feature units, OpenCV-default C and gamma — how the paper's
+// 700-LoC OpenCV pipeline behaves). EXPERIMENTS.md discusses how the
+// difference explains the paper's location-only error levels.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Figure 12 — classification with location vs location + "
+              "signal features (10-fold CV)\n");
+  bench::Campaign campaign;
+
+  // (a) per-channel error, USRP, default (tuned) mode.
+  bench::print_title("(a) per-channel error rate (USRP, tuned models)");
+  bench::print_row({"channel", "NB loc", "NB loc+feat", "SVM loc",
+                    "SVM loc+feat"},
+                   14);
+  for (const int ch : rf::kEvaluationChannels) {
+    std::vector<std::string> row{std::to_string(ch)};
+    for (const char* model : {"naive_bayes", "svm"}) {
+      for (const int nf : {1, 3}) {
+        bench::EvalConfig cfg;
+        cfg.classifier = model;
+        cfg.num_features = nf;
+        row.push_back(bench::fmt(
+            bench::evaluate_classifier(campaign, bench::SensorKind::kUsrpB200,
+                                       ch, cfg)
+                .error_rate()));
+      }
+    }
+    bench::print_row(row, 14);
+  }
+
+  // (b)/(c): mean FP and FN vs number of features, both modes.
+  struct Config {
+    bench::SensorKind sensor;
+    const char* model;
+    bool paper_faithful;
+  };
+  const Config configs[] = {
+      {bench::SensorKind::kRtlSdr, "naive_bayes", false},
+      {bench::SensorKind::kRtlSdr, "svm", false},
+      {bench::SensorKind::kUsrpB200, "naive_bayes", false},
+      {bench::SensorKind::kUsrpB200, "svm", false},
+      {bench::SensorKind::kRtlSdr, "svm", true},
+      {bench::SensorKind::kUsrpB200, "svm", true},
+  };
+  bench::print_title("(b)/(c) mean FP and FN rate vs number of features");
+  bench::print_row({"config", "n_feat", "FP", "FN", "error"}, 22);
+  for (const Config& c : configs) {
+    for (int nf = 1; nf <= 4; ++nf) {
+      ml::ConfusionMatrix total;
+      for (const int ch : rf::kEvaluationChannels) {
+        bench::EvalConfig cfg;
+        cfg.classifier = c.model;
+        cfg.num_features = nf;
+        cfg.paper_faithful = c.paper_faithful;
+        total.merge(bench::evaluate_classifier(campaign, c.sensor, ch, cfg));
+      }
+      const std::string name = std::string(bench::sensor_name(c.sensor)) +
+                               " " + c.model +
+                               (c.paper_faithful ? " (artifact)" : "");
+      bench::print_row({name, std::to_string(nf), bench::fmt(total.fp_rate()),
+                        bench::fmt(total.fn_rate()),
+                        bench::fmt(total.error_rate())},
+                       22);
+    }
+  }
+  std::printf(
+      "\nPaper shape reproduced: NB improves with features on hard channels"
+      " (FN drops\nsharply, e.g. channel 15), SVM beats NB, USRP beats RTL"
+      " on FP.\nDivergence (see EXPERIMENTS.md): with a properly"
+      " standardised kernel and a dense\ncampaign, location-only SVM is"
+      " already near the label-noise floor, so features\ncannot add much —"
+      " the paper's large location-only errors (and the resulting"
+      " 5x\nfeature gains) require its raw-unit kernel configuration, shown"
+      " as '(artifact)'.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 13: the effect of the number of localities (k-means clusters, one
+// model per cluster) on FP and FN rates, for k in {1 (no clustering), 3, 5}
+// and each feature count. Uses the full Model Constructor path, so
+// single-class localities collapse to constant "binary" models.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Figure 13 — local models (k-means localities), 5-fold CV\n");
+  bench::Campaign campaign;
+
+  const int kChannels[] = {15, 21, 46, 47};
+  const bench::SensorKind kSensors[] = {bench::SensorKind::kRtlSdr,
+                                        bench::SensorKind::kUsrpB200};
+
+  bench::print_row({"sensor", "k", "n_feat", "FP", "FN", "error"}, 12);
+  for (const bench::SensorKind sensor : kSensors) {
+    for (const std::size_t k : {1u, 3u, 5u}) {
+      for (int nf = 1; nf <= 4; ++nf) {
+        ml::ConfusionMatrix total;
+        for (const int ch : kChannels) {
+          bench::EvalConfig cfg;
+          cfg.classifier = "naive_bayes";
+          cfg.num_features = nf;
+          cfg.folds = 5;
+          total.merge(
+              bench::evaluate_waldo_model(campaign, sensor, ch, k, cfg));
+        }
+        bench::print_row({bench::sensor_name(sensor), std::to_string(k),
+                          std::to_string(nf), bench::fmt(total.fp_rate()),
+                          bench::fmt(total.fn_rate()),
+                          bench::fmt(total.error_rate())},
+                         12);
+      }
+    }
+  }
+  std::printf(
+      "\nPaper shape: going from one global model to k=3 local models"
+      " improves FP\nsubstantially (local models stop underfitting) at a"
+      " small FN cost; the feature\neffect persists at every k. Averaged"
+      " over channels 15/21/46/47 with Naive Bayes\n(the model family where"
+      " locality underfitting is visible).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 18 + Section 5 CPU overhead: CDF of the detection app's CPU share
+// during active scanning (peak periods), and the average utilisation
+// normalised over the 60 s scan period (paper: ~2.35 %). The processing
+// pipeline (FFT, feature extraction, convergence filter, model inference)
+// is actually executed and timed; acquisition latency is modelled.
+#include <cstdio>
+#include <random>
+
+#include "common.hpp"
+#include "waldo/core/database.hpp"
+#include "waldo/device/phone.hpp"
+#include "waldo/ml/stats.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Figure 18 — CPU overhead of the Waldo app\n");
+  bench::Campaign campaign(1200);
+
+  core::ModelConstructorConfig mc;
+  mc.classifier = "svm";
+  mc.num_features = 3;
+  mc.max_train_samples = 600;
+  core::SpectrumDatabase db(mc);
+  for (const int ch : rf::kPaperChannels) {
+    db.ingest_campaign(campaign.dataset(bench::SensorKind::kUsrpB200, ch));
+  }
+
+  device::PhoneConfig cfg;
+  cfg.cache_constant_channels = false;  // paper protocol: scan everything
+  // Emulate the paper's 2015 Android stack (Java + JNI OpenCV) on top of
+  // the measured native pipeline time; 1.0 would report raw C++ speed,
+  // which is ~200x faster than the phone the paper profiled.
+  cfg.processing_time_scale = 200.0;
+  sensors::Sensor sensor(device::phone_rtl_sdr_spec(), 71);
+  sensor.calibrate();
+  device::PhoneRuntime phone(cfg, std::move(sensor));
+  const std::vector<int> channels(rf::kPaperChannels.begin(),
+                                  rf::kPaperChannels.end());
+  phone.ensure_models(db, channels);
+
+  // Emulate the paper's 30-channel scan by sweeping the 9 modelled
+  // channels repeatedly (30 channel-scans per cycle).
+  std::vector<int> scan_list;
+  while (scan_list.size() < 30) {
+    for (const int ch : channels) {
+      if (scan_list.size() < 30) scan_list.push_back(ch);
+    }
+  }
+
+  std::mt19937_64 rng(72);
+  std::uniform_real_distribution<double> coord(1000.0, 25'000.0);
+  std::vector<double> active_cpu, duty_cpu, busy_times;
+  constexpr int kCycles = 30;
+  for (int c = 0; c < kCycles; ++c) {
+    const geo::EnuPoint p{coord(rng), coord(rng)};
+    const device::ScanReport report =
+        phone.scan_cycle(campaign.environment(), scan_list, p);
+    active_cpu.push_back(report.cpu_active_fraction() * 100.0);
+    duty_cpu.push_back(report.cpu_duty_fraction(cfg.scan_period_s) * 100.0);
+    busy_times.push_back(report.busy_time_s);
+  }
+
+  bench::print_title("CDF of CPU share during active scanning (percent)");
+  bench::print_row({"probability", "cpu_pct"});
+  for (const auto& pt : ml::empirical_cdf(active_cpu, 10)) {
+    bench::print_row({bench::fmt(pt.probability, 2), bench::fmt(pt.value, 2)});
+  }
+  std::printf(
+      "busy time per 30-channel cycle: mean %.2f s (paper: 5.89 s)\n"
+      "CPU normalised over the 60 s period: mean %.2f%% (paper: 2.35%%)\n",
+      ml::summarize(busy_times).mean, ml::summarize(duty_cpu).mean);
+  std::printf(
+      "\nPaper shape: scanning is bursty — noticeable CPU during the scan,"
+      " negligible\nwhen normalised over the FCC-mandated 60 s re-check"
+      " period.\n");
+  return 0;
+}

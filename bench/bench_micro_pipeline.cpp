@@ -1,0 +1,189 @@
+// Microbenchmarks (google-benchmark) of the on-device pipeline stages and
+// the offline model-construction stages, plus the pilot-vs-energy detector
+// ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "waldo/campaign/labeling.hpp"
+#include "waldo/core/detector.hpp"
+#include "waldo/core/features.hpp"
+#include "waldo/dsp/detectors.hpp"
+#include "waldo/dsp/fft.hpp"
+#include "waldo/dsp/iq.hpp"
+#include "waldo/ml/kmeans.hpp"
+#include "waldo/ml/metrics.hpp"
+#include "waldo/ml/naive_bayes.hpp"
+#include "waldo/ml/svm.hpp"
+#include "waldo/sensors/sensor.hpp"
+
+namespace {
+
+using namespace waldo;
+
+std::vector<dsp::cplx> test_capture() {
+  std::mt19937_64 rng(1);
+  return dsp::synthesize_capture(dsp::CaptureConfig{}, -70.0, -95.0, rng);
+}
+
+void BM_Fft256(benchmark::State& state) {
+  std::vector<dsp::cplx> capture = test_capture();
+  for (auto _ : state) {
+    std::vector<dsp::cplx> copy = capture;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft256);
+
+void BM_SynthesizeCapture(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const dsp::CaptureConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsp::synthesize_capture(cfg, -70.0, -95.0, rng).data());
+  }
+}
+BENCHMARK(BM_SynthesizeCapture);
+
+void BM_EnergyDetector(benchmark::State& state) {
+  const std::vector<dsp::cplx> capture = test_capture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::energy_detector_dbm(capture));
+  }
+}
+BENCHMARK(BM_EnergyDetector);
+
+void BM_PilotDetector(benchmark::State& state) {
+  const std::vector<dsp::cplx> capture = test_capture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::pilot_detector_dbm(capture));
+  }
+}
+BENCHMARK(BM_PilotDetector);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const std::vector<dsp::cplx> capture = test_capture();
+  for (auto _ : state) {
+    const core::SpectralFeatures f = core::extract_spectral_features(capture);
+    benchmark::DoNotOptimize(f.cft_db + f.aft_db);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_SensorSenseChannel(benchmark::State& state) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtl.sense_channel(-75.0).iq.data());
+  }
+}
+BENCHMARK(BM_SensorSenseChannel);
+
+void make_training(std::size_t n, ml::Matrix& x, std::vector<int>& y) {
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> g(0.0, 1.0);
+  x = ml::Matrix(n, 4);
+  y.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool safe = i % 2 == 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      x(i, c) = g(rng) + (safe ? 1.0 : -1.0);
+    }
+    y[i] = safe ? ml::kSafe : ml::kNotSafe;
+  }
+}
+
+void BM_SvmTrain(benchmark::State& state) {
+  ml::Matrix x;
+  std::vector<int> y;
+  make_training(static_cast<std::size_t>(state.range(0)), x, y);
+  for (auto _ : state) {
+    ml::Svm svm;
+    svm.fit(x, y);
+    benchmark::DoNotOptimize(svm.num_support_vectors());
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(200)->Arg(600);
+
+void BM_SvmPredict(benchmark::State& state) {
+  ml::Matrix x;
+  std::vector<int> y;
+  make_training(600, x, y);
+  ml::Svm svm;
+  svm.fit(x, y);
+  const std::vector<double> probe{0.1, -0.2, 0.3, 0.4};
+  for (auto _ : state) benchmark::DoNotOptimize(svm.predict(probe));
+}
+BENCHMARK(BM_SvmPredict);
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  ml::Matrix x;
+  std::vector<int> y;
+  make_training(2000, x, y);
+  for (auto _ : state) {
+    ml::GaussianNaiveBayes nb;
+    nb.fit(x, y);
+    benchmark::DoNotOptimize(&nb);
+  }
+}
+BENCHMARK(BM_NaiveBayesTrain);
+
+void BM_NaiveBayesPredict(benchmark::State& state) {
+  ml::Matrix x;
+  std::vector<int> y;
+  make_training(2000, x, y);
+  ml::GaussianNaiveBayes nb;
+  nb.fit(x, y);
+  const std::vector<double> probe{0.1, -0.2, 0.3, 0.4};
+  for (auto _ : state) benchmark::DoNotOptimize(nb.predict(probe));
+}
+BENCHMARK(BM_NaiveBayesPredict);
+
+void BM_Algorithm1Labeling(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> coord(0.0, 26'500.0);
+  std::uniform_real_distribution<double> power(-110.0, -70.0);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<geo::EnuPoint> pos(n);
+  std::vector<double> rss(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = geo::EnuPoint{coord(rng), coord(rng)};
+    rss[i] = power(rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign::label_readings(pos, rss).data());
+  }
+}
+BENCHMARK(BM_Algorithm1Labeling)->Arg(1000)->Arg(5282);
+
+void BM_KMeansLocalities(benchmark::State& state) {
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> coord(0.0, 26'500.0);
+  ml::Matrix x(5282, 2);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = coord(rng);
+    x(i, 1) = coord(rng);
+  }
+  ml::KMeansConfig cfg;
+  cfg.k = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kmeans(x, cfg).inertia);
+  }
+}
+BENCHMARK(BM_KMeansLocalities);
+
+void BM_ConvergenceFilter(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> noise(-85.0, 0.5);
+  for (auto _ : state) {
+    core::ConvergenceFilter filter;
+    while (!filter.ingest(noise(rng))) {
+    }
+    benchmark::DoNotOptimize(filter.estimate_dbm());
+  }
+}
+BENCHMARK(BM_ConvergenceFilter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

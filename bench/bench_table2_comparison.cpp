@@ -1,0 +1,104 @@
+// Table 2 + Section 5 overheads, quantified: the four detection approaches
+// (spectrum sensing, spectrum database, measurement-augmented database,
+// Waldo) scored on safety (FP), efficiency (FN) and operational overhead
+// (bytes exchanged, sensing hardware floor required), plus the model
+// descriptor sizes behind the paper's "4 kB NB vs 40 kB SVM" tradeoff.
+#include <cstdio>
+
+#include "common.hpp"
+#include "waldo/baselines/geo_database.hpp"
+#include "waldo/baselines/sensing_only.hpp"
+#include "waldo/baselines/vscope.hpp"
+#include "waldo/core/database.hpp"
+
+using namespace waldo;
+
+int main() {
+  std::printf("Table 2 — approaches compared on the same campaign\n");
+  bench::Campaign campaign;
+
+  ml::ConfusionMatrix cm_sensing, cm_db, cm_vscope, cm_waldo;
+  for (const int ch : rf::kEvaluationChannels) {
+    const auto& ds = campaign.dataset(bench::SensorKind::kSpectrumAnalyzer, ch);
+    const auto& labels =
+        campaign.labels(bench::SensorKind::kSpectrumAnalyzer, ch);
+
+    const baselines::GeoDatabase geo_db(campaign.environment(), ch);
+    baselines::VScope vscope;
+    std::vector<geo::EnuPoint> txs;
+    for (const rf::Transmitter* tx :
+         campaign.environment().transmitters_on(ch)) {
+      txs.push_back(tx->location);
+    }
+    // V-Scope consumes the same low-cost (USRP) campaign Waldo does.
+    vscope.fit(campaign.dataset(bench::SensorKind::kUsrpB200, ch), txs);
+
+    // Waldo uses the USRP campaign (its own low-cost data path).
+    bench::EvalConfig waldo_cfg;
+    waldo_cfg.classifier = "svm";
+    waldo_cfg.num_features = 3;
+    cm_waldo.merge(bench::evaluate_classifier(
+        campaign, bench::SensorKind::kUsrpB200, ch, waldo_cfg));
+
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      cm_sensing.add(
+          baselines::sensing_only_decision(ds.readings[i].rss_dbm),
+          labels[i]);
+      cm_db.add(geo_db.classify(ds.readings[i].position), labels[i]);
+      cm_vscope.add(vscope.classify(ds.readings[i].position), labels[i]);
+    }
+  }
+
+  // Operational overhead: bytes exchanged per decision. A database query
+  // costs ~2 kB per location; Waldo ships one model per area.
+  core::ModelConstructorConfig nb_cfg;
+  nb_cfg.classifier = "naive_bayes";
+  nb_cfg.num_features = 3;
+  core::ModelConstructorConfig svm_cfg;
+  svm_cfg.classifier = "svm";
+  svm_cfg.num_features = 3;
+  svm_cfg.max_train_samples = 800;
+  core::SpectrumDatabase db_nb(nb_cfg), db_svm(svm_cfg);
+  db_nb.ingest_campaign(campaign.dataset(bench::SensorKind::kUsrpB200, 46));
+  db_svm.ingest_campaign(campaign.dataset(bench::SensorKind::kUsrpB200, 46));
+  const std::size_t nb_bytes = db_nb.download_model(46).size();
+  const std::size_t svm_bytes = db_svm.download_model(46).size();
+  constexpr double kQueryBytes = 2048.0;
+  constexpr double kDecisionsPerModel = 1000.0;  // one area, many checks
+
+  bench::print_title("quantitative Table 2");
+  bench::print_row({"approach", "FP", "FN", "bytes/decision",
+                    "sensor floor"},
+                   22);
+  bench::print_row({"spectrum sensing", bench::fmt(cm_sensing.fp_rate()),
+                    bench::fmt(cm_sensing.fn_rate()), "0",
+                    "-114 dBm ($10-40k)"},
+                   22);
+  bench::print_row({"spectrum database", bench::fmt(cm_db.fp_rate()),
+                    bench::fmt(cm_db.fn_rate()), bench::fmt(kQueryBytes, 0),
+                    "none"},
+                   22);
+  bench::print_row({"meas.-augmented DB", bench::fmt(cm_vscope.fp_rate()),
+                    bench::fmt(cm_vscope.fn_rate()),
+                    bench::fmt(kQueryBytes, 0), "analyzer campaign"},
+                   22);
+  bench::print_row(
+      {"Waldo (USRP, SVM)", bench::fmt(cm_waldo.fp_rate()),
+       bench::fmt(cm_waldo.fn_rate()),
+       bench::fmt(static_cast<double>(svm_bytes) / kDecisionsPerModel, 1),
+       "-84 dBm ($15)"},
+      22);
+
+  bench::print_title("Section 5 — model descriptor sizes (channel 46)");
+  bench::print_row({"model", "descriptor_bytes"}, 20);
+  bench::print_row({"Naive Bayes", std::to_string(nb_bytes)}, 20);
+  bench::print_row({"SVM", std::to_string(svm_bytes)}, 20);
+  std::printf("(paper: ~4 kB NB, ~40 kB SVM; one descriptor covers tens of "
+              "km^2 vs a few-kB\nquery per location for conventional "
+              "databases)\n");
+  std::printf(
+      "\nPaper shape (qualitative Table 2): sensing and databases are very"
+      " safe but\ninefficient or costly; Waldo keeps safety high, efficiency"
+      " highest, and\noperational overhead lowest.\n");
+  return 0;
+}

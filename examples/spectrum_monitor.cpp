@@ -1,0 +1,53 @@
+// Spectrum-monitoring example (the paper's Section 6 application): use the
+// campaign infrastructure to locate each channel's incumbent transmitter
+// from RSS data alone and compare against the registered positions —
+// the "determining protected areas / monitoring interference" use case.
+//
+// Usage:  spectrum_monitor [readings]
+#include <cstdio>
+#include <string>
+
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/core/transmitter_locator.hpp"
+#include "waldo/rf/environment.hpp"
+#include "waldo/sensors/sensor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace waldo;
+  const std::size_t readings =
+      argc > 1 ? std::stoul(argv[1]) : std::size_t{4000};
+
+  const rf::Environment world = rf::make_metro_environment();
+  const geo::DrivePath route = campaign::standard_route(world, readings);
+  sensors::Sensor analyzer(sensors::spectrum_analyzer_spec(), 41);
+
+  core::LocatorConfig cfg;
+  cfg.min_rss_dbm = -105.0;
+
+  std::printf("%-8s %-22s %-22s %-10s %-8s %-8s\n", "channel", "estimated",
+              "registered", "error_km", "n_fit", "rmse_dB");
+  for (const int ch : rf::kPaperChannels) {
+    const auto sweep =
+        campaign::collect_channel(world, analyzer, ch, route.readings);
+    const auto estimate = core::locate_transmitter(sweep, cfg);
+    const rf::Transmitter* truth = world.transmitters_on(ch).front();
+    if (!estimate) {
+      std::printf("%-8d %-22s (%8.0f, %8.0f)\n", ch,
+                  "too little signal", truth->location.east_m,
+                  truth->location.north_m);
+      continue;
+    }
+    std::printf("%-8d (%8.0f, %8.0f)   (%8.0f, %8.0f)   %-10.1f %-8.1f "
+                "%-8.1f\n",
+                ch, estimate->position.east_m, estimate->position.north_m,
+                truth->location.east_m, truth->location.north_m,
+                geo::distance_m(estimate->position, truth->location) /
+                    1000.0,
+                estimate->path_loss_exponent, estimate->rmse_db);
+  }
+  std::printf("\nNotes: estimates come from drive-by RSS alone — no "
+              "registration data. Far\ntowers with one-sided geometry and "
+              "deep obstruction pockets localise worst;\nblanket channels "
+              "(27/39) have the richest gradients and localise best.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Common interface for location-based white-space estimators: everything
+// the paper compares Waldo against answers "is this location safe on this
+// channel?" from location alone.
+#pragma once
+
+#include "waldo/geo/latlon.hpp"
+
+namespace waldo::baselines {
+
+class WhiteSpaceEstimator {
+ public:
+  virtual ~WhiteSpaceEstimator() = default;
+  /// ml::kSafe or ml::kNotSafe for a location.
+  [[nodiscard]] virtual int classify(const geo::EnuPoint& p) const = 0;
+};
+
+}  // namespace waldo::baselines

@@ -1,0 +1,41 @@
+// Statistical-interpolation databases (Ying et al. / Achtzehn et al.
+// family): predict the RSS field at a query point from stored measurements
+// by inverse-distance weighting over the k nearest readings, then threshold
+// — location-only, like every database baseline.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "waldo/baselines/estimator.hpp"
+#include "waldo/campaign/measurement.hpp"
+#include "waldo/geo/grid_index.hpp"
+#include "waldo/rf/channels.hpp"
+
+namespace waldo::baselines {
+
+struct IdwConfig {
+  std::size_t k = 8;
+  double power = 2.0;  ///< IDW exponent
+  double threshold_dbm = rf::kDecodableThresholdDbm;
+  /// Readings within this distance of the query whose value exceeds the
+  /// threshold force "not safe" (the Algorithm 1 separation carried over).
+  double separation_m = rf::kSeparationDistanceM;
+};
+
+class IdwDatabase final : public WhiteSpaceEstimator {
+ public:
+  explicit IdwDatabase(IdwConfig config = {}) : config_(config) {}
+
+  void fit(const campaign::ChannelDataset& data);
+
+  [[nodiscard]] double predict_rss_dbm(const geo::EnuPoint& p) const;
+  [[nodiscard]] int classify(const geo::EnuPoint& p) const override;
+
+ private:
+  IdwConfig config_;
+  std::unique_ptr<geo::GridIndex> index_;
+  std::vector<double> rss_;
+};
+
+}  // namespace waldo::baselines

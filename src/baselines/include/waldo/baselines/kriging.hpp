@@ -1,0 +1,76 @@
+// Ordinary kriging — the statistical-interpolation database the paper's
+// related work cites (Ying et al., "Revisiting TV coverage estimation with
+// measurement-based statistical interpolation"). Predicts the RSS field as
+// the best linear unbiased estimator under a fitted exponential variogram;
+// local kriging (k nearest readings per query) keeps the dense linear
+// solve tractable at campaign scale.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "waldo/baselines/estimator.hpp"
+#include "waldo/campaign/measurement.hpp"
+#include "waldo/geo/grid_index.hpp"
+#include "waldo/rf/channels.hpp"
+
+namespace waldo::baselines {
+
+/// Exponential variogram gamma(h) = nugget + sill (1 - e^{-h/range}).
+struct Variogram {
+  double nugget = 0.0;
+  double sill = 1.0;
+  double range_m = 1000.0;
+
+  [[nodiscard]] double operator()(double distance_m) const noexcept;
+};
+
+/// Fits an exponential variogram to the empirical semivariogram of the
+/// readings (method-of-moments binning, least-squares over a small grid of
+/// range candidates).
+[[nodiscard]] Variogram fit_variogram(
+    std::span<const geo::EnuPoint> positions, std::span<const double> values,
+    std::size_t max_pairs = 60'000, double max_lag_m = 8'000.0,
+    std::size_t bins = 16, std::uint64_t seed = 71);
+
+struct KrigingConfig {
+  std::size_t neighbours = 16;  ///< local kriging neighbourhood
+  double threshold_dbm = rf::kDecodableThresholdDbm;
+  double separation_m = rf::kSeparationDistanceM;
+};
+
+class KrigingDatabase final : public WhiteSpaceEstimator {
+ public:
+  explicit KrigingDatabase(KrigingConfig config = {}) : config_(config) {}
+
+  void fit(const campaign::ChannelDataset& data);
+
+  struct Prediction {
+    double rss_dbm = 0.0;
+    double variance = 0.0;  ///< kriging variance (estimation uncertainty)
+  };
+  [[nodiscard]] Prediction predict(const geo::EnuPoint& p) const;
+  [[nodiscard]] double predict_rss_dbm(const geo::EnuPoint& p) const {
+    return predict(p).rss_dbm;
+  }
+  [[nodiscard]] int classify(const geo::EnuPoint& p) const override;
+
+  [[nodiscard]] const Variogram& variogram() const noexcept {
+    return variogram_;
+  }
+
+ private:
+  KrigingConfig config_;
+  Variogram variogram_;
+  std::unique_ptr<geo::GridIndex> index_;
+  std::vector<double> rss_;
+};
+
+/// Solves A x = b in place by Gaussian elimination with partial pivoting
+/// (A is n x n row-major, overwritten). Returns false when singular.
+/// Exposed for tests.
+[[nodiscard]] bool solve_linear_system(std::vector<double>& a,
+                                       std::vector<double>& b,
+                                       std::size_t n);
+
+}  // namespace waldo::baselines

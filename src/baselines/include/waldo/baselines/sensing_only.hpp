@@ -1,0 +1,26 @@
+// Pure local spectrum sensing per FCC rules: a channel may be used only if
+// the locally sensed power is below the sensing threshold (-114 dBm), 30 dB
+// under the decodable-signal level to cover hidden-node scenarios. Safe but
+// doubly inefficient: the threshold overprotects, and hardware that can
+// even reach it costs $10-40k (paper Sections 1 and 4.4).
+#pragma once
+
+#include "waldo/rf/channels.hpp"
+
+namespace waldo::baselines {
+
+struct SensingOnlyConfig {
+  double threshold_dbm = rf::kSensingOnlyThresholdDbm;  ///< -114 dBm
+};
+
+/// Per-reading decision: kSafe iff the sensed RSS is under the threshold.
+[[nodiscard]] int sensing_only_decision(double sensed_rss_dbm,
+                                        const SensingOnlyConfig& config = {});
+
+/// Whether a sensor with the given effective channel-power floor can
+/// implement sensing-only detection at all (its floor must sit below the
+/// threshold, or every reading saturates above it).
+[[nodiscard]] bool sensor_capable_of_sensing_only(
+    double sensor_channel_floor_dbm, const SensingOnlyConfig& config = {});
+
+}  // namespace waldo::baselines

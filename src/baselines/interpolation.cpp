@@ -1,0 +1,43 @@
+#include "waldo/baselines/interpolation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "waldo/ml/metrics.hpp"
+
+namespace waldo::baselines {
+
+void IdwDatabase::fit(const campaign::ChannelDataset& data) {
+  if (data.readings.empty()) {
+    throw std::invalid_argument("idw: empty training data");
+  }
+  index_ = std::make_unique<geo::GridIndex>(data.positions(), 1'000.0);
+  rss_ = data.rss_values();
+}
+
+double IdwDatabase::predict_rss_dbm(const geo::EnuPoint& p) const {
+  if (!index_) throw std::logic_error("idw: not fitted");
+  const std::vector<std::size_t> near = index_->k_nearest(p, config_.k);
+  double wsum = 0.0;
+  double acc = 0.0;
+  for (const std::size_t i : near) {
+    const double d = std::max(1.0, geo::distance_m(p, index_->points()[i]));
+    const double w = 1.0 / std::pow(d, config_.power);
+    wsum += w;
+    acc += w * rss_[i];
+  }
+  return wsum > 0.0 ? acc / wsum : -200.0;
+}
+
+int IdwDatabase::classify(const geo::EnuPoint& p) const {
+  if (!index_) throw std::logic_error("idw: not fitted");
+  if (predict_rss_dbm(p) >= config_.threshold_dbm) return ml::kNotSafe;
+  // Carry the Algorithm 1 separation rule over the stored readings.
+  bool poisoned = false;
+  index_->for_each_within(p, config_.separation_m, [&](std::size_t i) {
+    if (rss_[i] >= config_.threshold_dbm) poisoned = true;
+  });
+  return poisoned ? ml::kNotSafe : ml::kSafe;
+}
+
+}  // namespace waldo::baselines

@@ -1,0 +1,178 @@
+#include "waldo/baselines/kriging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "waldo/ml/metrics.hpp"
+
+namespace waldo::baselines {
+
+double Variogram::operator()(double distance_m) const noexcept {
+  if (distance_m <= 0.0) return 0.0;
+  return nugget + sill * (1.0 - std::exp(-distance_m / range_m));
+}
+
+Variogram fit_variogram(std::span<const geo::EnuPoint> positions,
+                        std::span<const double> values,
+                        std::size_t max_pairs, double max_lag_m,
+                        std::size_t bins, std::uint64_t seed) {
+  if (positions.size() != values.size() || positions.size() < 8) {
+    throw std::invalid_argument("variogram needs >= 8 matched samples");
+  }
+  // Empirical semivariogram from randomly sampled pairs.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, positions.size() - 1);
+  std::vector<double> gamma_sum(bins, 0.0);
+  std::vector<std::size_t> gamma_n(bins, 0);
+  const double bin_w = max_lag_m / static_cast<double>(bins);
+  for (std::size_t k = 0; k < max_pairs; ++k) {
+    const std::size_t i = pick(rng);
+    const std::size_t j = pick(rng);
+    if (i == j) continue;
+    const double h = geo::distance_m(positions[i], positions[j]);
+    if (h >= max_lag_m) continue;
+    const auto bin = static_cast<std::size_t>(h / bin_w);
+    const double d = values[i] - values[j];
+    gamma_sum[bin] += 0.5 * d * d;
+    ++gamma_n[bin];
+  }
+  std::vector<double> lag(bins), gamma(bins);
+  std::size_t used = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (gamma_n[b] < 5) continue;
+    lag[used] = (static_cast<double>(b) + 0.5) * bin_w;
+    gamma[used] = gamma_sum[b] / static_cast<double>(gamma_n[b]);
+    ++used;
+  }
+  if (used < 3) {
+    throw std::invalid_argument("not enough variogram bins populated");
+  }
+
+  // Grid-search the range; closed-form-ish nugget/sill by least squares on
+  // the basis {1, 1 - e^{-h/range}} for each candidate.
+  Variogram best;
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double range = bin_w; range <= max_lag_m; range += bin_w / 2.0) {
+    double s1 = 0.0, sb = 0.0, sbb = 0.0, sg = 0.0, sgb = 0.0;
+    for (std::size_t k = 0; k < used; ++k) {
+      const double b = 1.0 - std::exp(-lag[k] / range);
+      s1 += 1.0;
+      sb += b;
+      sbb += b * b;
+      sg += gamma[k];
+      sgb += gamma[k] * b;
+    }
+    const double denom = s1 * sbb - sb * sb;
+    if (std::abs(denom) < 1e-12) continue;
+    double sill = (s1 * sgb - sb * sg) / denom;
+    double nugget = (sg - sill * sb) / s1;
+    nugget = std::max(0.0, nugget);
+    sill = std::max(1e-6, sill);
+    double sse = 0.0;
+    for (std::size_t k = 0; k < used; ++k) {
+      const double e =
+          gamma[k] - (nugget + sill * (1.0 - std::exp(-lag[k] / range)));
+      sse += e * e;
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best = Variogram{.nugget = nugget, .sill = sill, .range_m = range};
+    }
+  }
+  return best;
+}
+
+bool solve_linear_system(std::vector<double>& a, std::vector<double>& b,
+                         std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      for (std::size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a[r * n + c] * b[c];
+    b[r] = acc / a[r * n + r];
+  }
+  return true;
+}
+
+void KrigingDatabase::fit(const campaign::ChannelDataset& data) {
+  if (data.readings.size() < 8) {
+    throw std::invalid_argument("kriging: too few readings");
+  }
+  const std::vector<geo::EnuPoint> positions = data.positions();
+  rss_ = data.rss_values();
+  variogram_ = fit_variogram(positions, rss_);
+  index_ = std::make_unique<geo::GridIndex>(positions, 1000.0);
+}
+
+KrigingDatabase::Prediction KrigingDatabase::predict(
+    const geo::EnuPoint& p) const {
+  if (!index_) throw std::logic_error("kriging: not fitted");
+  const std::vector<std::size_t> near =
+      index_->k_nearest(p, config_.neighbours);
+  const std::size_t k = near.size();
+  // Ordinary kriging system: [Gamma 1; 1' 0] [w; mu] = [gamma(p); 1].
+  const std::size_t n = k + 1;
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      a[i * n + j] = variogram_(geo::distance_m(index_->points()[near[i]],
+                                                index_->points()[near[j]]));
+    }
+    a[i * n + k] = 1.0;
+    a[k * n + i] = 1.0;
+    b[i] = variogram_(geo::distance_m(index_->points()[near[i]], p));
+  }
+  b[k] = 1.0;
+
+  std::vector<double> rhs = b;
+  if (!solve_linear_system(a, rhs, n)) {
+    // Degenerate geometry (coincident points): fall back to the nearest
+    // reading.
+    return Prediction{.rss_dbm = rss_[near.front()],
+                      .variance = variogram_.sill};
+  }
+  Prediction out;
+  for (std::size_t i = 0; i < k; ++i) out.rss_dbm += rhs[i] * rss_[near[i]];
+  // Kriging variance: sum w_i gamma(p, i) + mu.
+  out.variance = rhs[k];
+  for (std::size_t i = 0; i < k; ++i) out.variance += rhs[i] * b[i];
+  out.variance = std::max(0.0, out.variance);
+  return out;
+}
+
+int KrigingDatabase::classify(const geo::EnuPoint& p) const {
+  if (!index_) throw std::logic_error("kriging: not fitted");
+  if (predict(p).rss_dbm >= config_.threshold_dbm) return ml::kNotSafe;
+  bool poisoned = false;
+  index_->for_each_within(p, config_.separation_m, [&](std::size_t i) {
+    if (rss_[i] >= config_.threshold_dbm) poisoned = true;
+  });
+  return poisoned ? ml::kNotSafe : ml::kSafe;
+}
+
+}  // namespace waldo::baselines

@@ -1,0 +1,17 @@
+#include "waldo/baselines/sensing_only.hpp"
+
+#include "waldo/ml/metrics.hpp"
+
+namespace waldo::baselines {
+
+int sensing_only_decision(double sensed_rss_dbm,
+                          const SensingOnlyConfig& config) {
+  return sensed_rss_dbm < config.threshold_dbm ? ml::kSafe : ml::kNotSafe;
+}
+
+bool sensor_capable_of_sensing_only(double sensor_channel_floor_dbm,
+                                    const SensingOnlyConfig& config) {
+  return sensor_channel_floor_dbm < config.threshold_dbm;
+}
+
+}  // namespace waldo::baselines

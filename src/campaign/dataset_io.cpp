@@ -1,0 +1,66 @@
+#include "waldo/campaign/dataset_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace waldo::campaign {
+
+void write_csv(std::ostream& out, const ChannelDataset& dataset) {
+  out << "# waldo-dataset v1 channel=" << dataset.channel
+      << " sensor=" << dataset.sensor_name << "\n";
+  out << "east_m,north_m,raw,rss_dbm,cft_db,aft_db,true_rss_dbm\n";
+  out << std::setprecision(12);
+  for (const Measurement& m : dataset.readings) {
+    out << m.position.east_m << ',' << m.position.north_m << ',' << m.raw
+        << ',' << m.rss_dbm << ',' << m.cft_db << ',' << m.aft_db << ','
+        << m.true_rss_dbm << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const ChannelDataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_csv(out, dataset);
+}
+
+ChannelDataset read_csv(std::istream& in) {
+  ChannelDataset ds;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# waldo-dataset v1", 0) != 0) {
+    throw std::runtime_error("missing waldo-dataset header");
+  }
+  {
+    std::istringstream hdr(line);
+    std::string tok;
+    while (hdr >> tok) {
+      if (tok.rfind("channel=", 0) == 0) ds.channel = std::stoi(tok.substr(8));
+      if (tok.rfind("sensor=", 0) == 0) ds.sensor_name = tok.substr(7);
+    }
+  }
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("missing column header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    Measurement m;
+    char comma = ',';
+    if (!(row >> m.position.east_m >> comma >> m.position.north_m >> comma >>
+          m.raw >> comma >> m.rss_dbm >> comma >> m.cft_db >> comma >>
+          m.aft_db >> comma >> m.true_rss_dbm)) {
+      throw std::runtime_error("malformed dataset row: " + line);
+    }
+    ds.readings.push_back(m);
+  }
+  return ds;
+}
+
+ChannelDataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_csv(in);
+}
+
+}  // namespace waldo::campaign

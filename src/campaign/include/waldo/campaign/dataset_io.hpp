@@ -1,0 +1,22 @@
+// CSV round-trip for channel datasets (without I/Q payloads) so campaigns
+// can be archived and re-analysed without re-simulating.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "waldo/campaign/measurement.hpp"
+
+namespace waldo::campaign {
+
+/// Writes `east_m,north_m,raw,rss_dbm,cft_db,aft_db,true_rss_dbm` rows with
+/// a header carrying channel and sensor name.
+void write_csv(std::ostream& out, const ChannelDataset& dataset);
+void write_csv_file(const std::string& path, const ChannelDataset& dataset);
+
+/// Reads a dataset written by write_csv. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] ChannelDataset read_csv(std::istream& in);
+[[nodiscard]] ChannelDataset read_csv_file(const std::string& path);
+
+}  // namespace waldo::campaign

@@ -1,0 +1,41 @@
+#include "waldo/campaign/labeling.hpp"
+
+#include <stdexcept>
+
+#include "waldo/geo/grid_index.hpp"
+#include "waldo/ml/metrics.hpp"
+
+namespace waldo::campaign {
+
+std::vector<int> label_readings(std::span<const geo::EnuPoint> positions,
+                                std::span<const double> rss_dbm,
+                                const LabelingConfig& config) {
+  if (positions.size() != rss_dbm.size()) {
+    throw std::invalid_argument("label_readings: size mismatch");
+  }
+  std::vector<int> labels(positions.size(), ml::kSafe);
+  if (positions.empty()) return labels;
+
+  const geo::GridIndex index(
+      std::vector<geo::EnuPoint>(positions.begin(), positions.end()),
+      std::max(1.0, config.separation_m / 4.0));
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (rss_dbm[i] + config.correction_db <= config.threshold_dbm) continue;
+    labels[i] = ml::kNotSafe;
+    index.for_each_within(positions[i], config.separation_m,
+                          [&labels](std::size_t j) {
+                            labels[j] = ml::kNotSafe;
+                          });
+  }
+  return labels;
+}
+
+double safe_fraction(std::span<const int> labels) noexcept {
+  if (labels.empty()) return 0.0;
+  std::size_t safe = 0;
+  for (const int l : labels) safe += (l == ml::kSafe) ? 1 : 0;
+  return static_cast<double>(safe) / static_cast<double>(labels.size());
+}
+
+}  // namespace waldo::campaign

@@ -1,0 +1,19 @@
+#include "waldo/campaign/measurement.hpp"
+
+namespace waldo::campaign {
+
+std::vector<geo::EnuPoint> ChannelDataset::positions() const {
+  std::vector<geo::EnuPoint> out;
+  out.reserve(readings.size());
+  for (const Measurement& m : readings) out.push_back(m.position);
+  return out;
+}
+
+std::vector<double> ChannelDataset::rss_values() const {
+  std::vector<double> out;
+  out.reserve(readings.size());
+  for (const Measurement& m : readings) out.push_back(m.rss_dbm);
+  return out;
+}
+
+}  // namespace waldo::campaign

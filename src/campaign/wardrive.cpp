@@ -1,0 +1,49 @@
+#include "waldo/campaign/wardrive.hpp"
+
+#include "waldo/dsp/detectors.hpp"
+
+namespace waldo::campaign {
+
+ChannelDataset collect_channel(const rf::Environment& environment,
+                               sensors::Sensor& sensor, int channel,
+                               std::span<const geo::EnuPoint> route,
+                               const CollectOptions& options) {
+  ChannelDataset ds;
+  ds.channel = channel;
+  ds.sensor_name = sensor.spec().name;
+  ds.readings.reserve(route.size());
+
+  for (const geo::EnuPoint& p : route) {
+    const double truth = environment.true_rss_dbm(channel, p);
+    sensors::SensorReading reading = sensor.sense_channel(truth);
+
+    Measurement m;
+    m.position = p;
+    m.raw = reading.raw;
+    m.rss_dbm = sensor.calibrated_rss_dbm(reading.raw);
+    m.cft_db = dsp::central_bin_db(reading.iq);
+    m.aft_db = dsp::central_band_mean_db(reading.iq);
+    m.true_rss_dbm = truth;
+    if (options.keep_iq) m.iq = std::move(reading.iq);
+    ds.readings.push_back(std::move(m));
+  }
+  return ds;
+}
+
+geo::DrivePath standard_route(const rf::Environment& environment,
+                              std::size_t num_readings, std::uint64_t seed) {
+  const geo::BoundingBox& region = environment.config().region;
+  geo::DrivePathConfig cfg;
+  cfg.region_side_m = std::min(region.width_m(), region.height_m());
+  cfg.num_readings = num_readings;
+  cfg.seed = seed;
+  geo::DrivePath path = geo::generate_drive_path(cfg);
+  // The generator works in [0, side]^2; shift onto the region origin.
+  for (geo::EnuPoint& p : path.readings) {
+    p.east_m += region.min_east_m;
+    p.north_m += region.min_north_m;
+  }
+  return path;
+}
+
+}  // namespace waldo::campaign

@@ -1,0 +1,177 @@
+#include "waldo/core/database.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "waldo/geo/grid_index.hpp"
+#include "waldo/ml/stats.hpp"
+
+namespace waldo::core {
+
+SpectrumDatabase::SpectrumDatabase(ModelConstructorConfig constructor_config,
+                                   campaign::LabelingConfig labeling,
+                                   UploadPolicy upload_policy)
+    : constructor_config_(std::move(constructor_config)),
+      labeling_(labeling),
+      upload_policy_(upload_policy) {}
+
+void SpectrumDatabase::ingest_campaign(campaign::ChannelDataset dataset) {
+  if (dataset.readings.empty()) {
+    throw std::invalid_argument("refusing to ingest an empty campaign");
+  }
+  const int channel = dataset.channel;
+  auto it = data_.find(channel);
+  if (it == data_.end()) {
+    data_.emplace(channel, std::move(dataset));
+  } else {
+    auto& readings = it->second.readings;
+    readings.insert(readings.end(),
+                    std::make_move_iterator(dataset.readings.begin()),
+                    std::make_move_iterator(dataset.readings.end()));
+  }
+  model_cache_.erase(channel);
+}
+
+bool SpectrumDatabase::has_channel(int channel) const noexcept {
+  return data_.contains(channel);
+}
+
+std::vector<int> SpectrumDatabase::channels() const {
+  std::vector<int> out;
+  out.reserve(data_.size());
+  for (const auto& [ch, _] : data_) out.push_back(ch);
+  return out;
+}
+
+const campaign::ChannelDataset& SpectrumDatabase::dataset(int channel) const {
+  const auto it = data_.find(channel);
+  if (it == data_.end()) {
+    throw std::out_of_range("no data for channel " + std::to_string(channel));
+  }
+  return it->second;
+}
+
+std::vector<int> SpectrumDatabase::labels(int channel) const {
+  const campaign::ChannelDataset& ds = dataset(channel);
+  return campaign::label_readings(ds.positions(), ds.rss_values(), labeling_);
+}
+
+const WhiteSpaceModel& SpectrumDatabase::model(int channel) {
+  auto it = model_cache_.find(channel);
+  if (it != model_cache_.end()) return it->second;
+  const ModelConstructor constructor(constructor_config_);
+  WhiteSpaceModel m =
+      constructor.build_with_labeling(dataset(channel), labeling_);
+  ++stats_.models_built;
+  return model_cache_.emplace(channel, std::move(m)).first->second;
+}
+
+std::string SpectrumDatabase::download_model(int channel) {
+  std::string descriptor = model(channel).serialize();
+  ++stats_.model_downloads;
+  stats_.bytes_served += descriptor.size();
+  return descriptor;
+}
+
+SpectrumDatabase::UploadResult SpectrumDatabase::upload_measurements(
+    int channel, std::span<const campaign::Measurement> readings,
+    const std::string& contributor) {
+  auto it = data_.find(channel);
+  if (it == data_.end()) {
+    throw std::out_of_range(
+        "uploads require a bootstrapped channel (trusted campaign first)");
+  }
+  UploadResult result;
+  if (readings.empty()) return result;
+  campaign::ChannelDataset& stored = it->second;
+  std::vector<PendingReading>& pending = pending_[channel];
+
+  // Correlation check against the stored neighbourhood (Section 3.4 /
+  // secure collaborative sensing): an upload deviating wildly from what
+  // nearby trusted readings saw is rejected; an upload nobody can vouch
+  // for is held pending until independently corroborated.
+  const geo::GridIndex index(stored.positions(),
+                             std::max(50.0, upload_policy_.neighbourhood_m));
+  const std::vector<double> stored_rss = stored.rss_values();
+
+  std::vector<campaign::Measurement> accepted;
+  for (const campaign::Measurement& m : readings) {
+    const std::vector<std::size_t> nearby =
+        index.query_radius(m.position, upload_policy_.neighbourhood_m);
+    if (nearby.size() >= upload_policy_.min_neighbours) {
+      std::vector<double> neighbour_rss;
+      neighbour_rss.reserve(nearby.size());
+      for (const std::size_t j : nearby) {
+        neighbour_rss.push_back(stored_rss[j]);
+      }
+      const double median = ml::quantile(neighbour_rss, 0.5);
+      if (std::abs(m.rss_dbm - median) > upload_policy_.max_deviation_db) {
+        ++result.rejected;
+      } else {
+        accepted.push_back(m);
+        ++result.accepted;
+      }
+      continue;
+    }
+
+    // Unexplored territory: look for corroborating pending readings from
+    // other contributors.
+    std::vector<std::size_t> corroborators;
+    std::size_t distinct = 1;  // this contributor
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      const PendingReading& pr = pending[p];
+      if (geo::distance_m(pr.measurement.position, m.position) >
+          upload_policy_.corroboration_m) {
+        continue;
+      }
+      if (std::abs(pr.measurement.rss_dbm - m.rss_dbm) >
+          upload_policy_.max_deviation_db) {
+        continue;
+      }
+      corroborators.push_back(p);
+      if (pr.contributor != contributor) ++distinct;
+    }
+    if (distinct >= upload_policy_.min_corroborators) {
+      // Promote the agreeing cluster plus this reading.
+      accepted.push_back(m);
+      ++result.accepted;
+      for (auto rit = corroborators.rbegin(); rit != corroborators.rend();
+           ++rit) {
+        accepted.push_back(pending[*rit].measurement);
+        ++result.accepted;  // promoted into the trusted store now
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(*rit));
+      }
+    } else {
+      pending.push_back(PendingReading{m, contributor});
+      ++result.pending;
+    }
+  }
+
+  if (!accepted.empty()) {
+    stored.readings.insert(stored.readings.end(),
+                           std::make_move_iterator(accepted.begin()),
+                           std::make_move_iterator(accepted.end()));
+    std::size_t& stale = accepted_since_build_[channel];
+    stale += result.accepted;
+    if (stale >= upload_policy_.rebuild_threshold) {
+      model_cache_.erase(channel);
+      stale = 0;
+    }
+  }
+  stats_.uploads_accepted += result.accepted;
+  stats_.uploads_rejected += result.rejected;
+  return result;
+}
+
+std::size_t SpectrumDatabase::pending_count(int channel) const noexcept {
+  const auto it = pending_.find(channel);
+  return it == pending_.end() ? 0 : it->second.size();
+}
+
+std::size_t SpectrumDatabase::staleness(int channel) const noexcept {
+  const auto it = accepted_since_build_.find(channel);
+  return it == accepted_since_build_.end() ? 0 : it->second;
+}
+
+}  // namespace waldo::core

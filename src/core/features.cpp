@@ -1,0 +1,56 @@
+#include "waldo/core/features.hpp"
+
+#include <stdexcept>
+
+#include "waldo/dsp/detectors.hpp"
+
+namespace waldo::core {
+
+std::vector<double> feature_row(const geo::EnuPoint& position, double rss_dbm,
+                                double cft_db, double aft_db,
+                                int num_features) {
+  if (num_features < kMinFeatures || num_features > kMaxFeatures) {
+    throw std::invalid_argument("feature count must be in [1, 4]");
+  }
+  std::vector<double> row;
+  row.reserve(feature_columns(num_features));
+  row.push_back(position.east_m);
+  row.push_back(position.north_m);
+  if (num_features >= 2) row.push_back(rss_dbm);
+  if (num_features >= 3) row.push_back(cft_db);
+  if (num_features >= 4) row.push_back(aft_db);
+  return row;
+}
+
+ml::Matrix build_features(const campaign::ChannelDataset& data,
+                          int num_features) {
+  ml::Matrix x;
+  for (const campaign::Measurement& m : data.readings) {
+    x.push_row(
+        feature_row(m.position, m.rss_dbm, m.cft_db, m.aft_db, num_features));
+  }
+  return x;
+}
+
+SpectralFeatures extract_spectral_features(
+    std::span<const dsp::cplx> capture) {
+  return SpectralFeatures{.cft_db = dsp::central_bin_db(capture),
+                          .aft_db = dsp::central_band_mean_db(capture)};
+}
+
+const char* feature_name(int index) {
+  switch (index) {
+    case 1:
+      return "location";
+    case 2:
+      return "RSS";
+    case 3:
+      return "CFT";
+    case 4:
+      return "AFT";
+    default:
+      throw std::invalid_argument("feature index must be in [1, 4]");
+  }
+}
+
+}  // namespace waldo::core

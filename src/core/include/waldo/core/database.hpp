@@ -1,0 +1,116 @@
+// Waldo's central spectrum database (Sections 3.1 and 3.4). The offline
+// phase ingests trusted campaign data and constructs per-channel models;
+// the online phase serves compact model descriptors to devices and accepts
+// crowd-sourced measurement uploads, sanity-checked by correlating each
+// upload against nearby stored readings (the defence of [26]).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "waldo/campaign/labeling.hpp"
+#include "waldo/campaign/measurement.hpp"
+#include "waldo/core/model.hpp"
+#include "waldo/core/model_constructor.hpp"
+
+namespace waldo::core {
+
+struct DatabaseStats {
+  std::size_t models_built = 0;
+  std::size_t model_downloads = 0;
+  std::size_t bytes_served = 0;
+  std::size_t uploads_accepted = 0;
+  std::size_t uploads_rejected = 0;
+};
+
+struct UploadPolicy {
+  /// Radius within which stored readings vouch for an upload.
+  double neighbourhood_m = 1'000.0;
+  /// Minimum vouching neighbours required to apply the correlation test.
+  std::size_t min_neighbours = 3;
+  /// Maximum deviation from the neighbourhood median RSS before an upload
+  /// is rejected as implausible / malicious. Honest readings deviate by
+  /// shadowing-pocket depth plus device noise (a few dB).
+  double max_deviation_db = 12.0;
+  /// Uploads in unexplored territory cannot be correlation-checked, so
+  /// they are *held pending* instead of trusted: a pending reading is
+  /// promoted into the dataset only once readings from enough distinct
+  /// contributors agree with it. (Colluding Sybil identities can still
+  /// corroborate each other — the full defence of Fatemieh et al. adds
+  /// RF-propagation consistency, which the correlation test approximates
+  /// only where trusted data exists.)
+  double corroboration_m = 500.0;
+  std::size_t min_corroborators = 2;
+  /// Cached models are invalidated only after this many readings have been
+  /// accepted since the last build — retraining per upload batch would make
+  /// large deployments rebuild constantly for negligible accuracy gain.
+  std::size_t rebuild_threshold = 1;
+};
+
+class SpectrumDatabase {
+ public:
+  explicit SpectrumDatabase(ModelConstructorConfig constructor_config = {},
+                            campaign::LabelingConfig labeling = {},
+                            UploadPolicy upload_policy = {});
+
+  /// Offline phase: stores a trusted campaign sweep for its channel
+  /// (appends if the channel already has data) and invalidates any cached
+  /// model.
+  void ingest_campaign(campaign::ChannelDataset dataset);
+
+  [[nodiscard]] bool has_channel(int channel) const noexcept;
+  [[nodiscard]] std::vector<int> channels() const;
+  [[nodiscard]] const campaign::ChannelDataset& dataset(int channel) const;
+
+  /// Algorithm 1 labels of the stored dataset (computed fresh).
+  [[nodiscard]] std::vector<int> labels(int channel) const;
+
+  /// Builds (or returns the cached) detection model for a channel.
+  [[nodiscard]] const WhiteSpaceModel& model(int channel);
+
+  /// Serialized model descriptor — what a WSD's Local Model Parameters
+  /// Updater downloads. Accounts traffic in stats().
+  [[nodiscard]] std::string download_model(int channel);
+
+  /// Online phase, Global Model Updater: submits device measurements.
+  /// `contributor` identifies the uploading device for the corroboration
+  /// rule (pending readings are promoted only by *other* contributors).
+  struct UploadResult {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::size_t pending = 0;  ///< held for corroboration, not yet trusted
+  };
+  UploadResult upload_measurements(
+      int channel, std::span<const campaign::Measurement> readings,
+      const std::string& contributor = "anonymous");
+
+  /// Readings currently awaiting corroboration on a channel.
+  [[nodiscard]] std::size_t pending_count(int channel) const noexcept;
+
+  /// Accepted readings not yet reflected in the cached model.
+  [[nodiscard]] std::size_t staleness(int channel) const noexcept;
+
+  [[nodiscard]] const DatabaseStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const campaign::LabelingConfig& labeling_config()
+      const noexcept {
+    return labeling_;
+  }
+
+ private:
+  ModelConstructorConfig constructor_config_;
+  campaign::LabelingConfig labeling_;
+  UploadPolicy upload_policy_;
+  struct PendingReading {
+    campaign::Measurement measurement;
+    std::string contributor;
+  };
+
+  std::map<int, campaign::ChannelDataset> data_;
+  std::map<int, std::size_t> accepted_since_build_;
+  std::map<int, std::vector<PendingReading>> pending_;
+  std::map<int, WhiteSpaceModel> model_cache_;
+  DatabaseStats stats_;
+};
+
+}  // namespace waldo::core

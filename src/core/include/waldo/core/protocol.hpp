@@ -1,0 +1,98 @@
+// The White Space Network Protocol of Figure 8: the wire format a mobile
+// WSD speaks to the central spectrum database. Four request/response pairs
+// cover the system's online phase — model download (Local Model Parameters
+// Updater) and measurement upload (Global Model Updater) — over any byte
+// transport (the reproduction's tests run it over a lambda; a deployment
+// would run it over TCP/HTTP).
+//
+// Wire format: a one-line header `WSNP/1 <type> <body-bytes>` followed by
+// `\n` and the body. Bodies are line-oriented text, matching the model
+// descriptors they carry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "waldo/campaign/measurement.hpp"
+#include "waldo/core/database.hpp"
+
+namespace waldo::core {
+
+struct ModelRequest {
+  int channel = 0;
+  /// Requester location; lets the server pick the covering model (and,
+  /// in a multi-area deployment, the right region shard).
+  geo::EnuPoint location;
+};
+
+struct ModelResponse {
+  int channel = 0;
+  std::string descriptor;  ///< serialized WhiteSpaceModel
+};
+
+struct UploadRequest {
+  int channel = 0;
+  /// Single-token identity (no whitespace) — enforced at encode time.
+  std::string contributor;
+  std::vector<campaign::Measurement> readings;  ///< I/Q not transmitted
+};
+
+struct UploadResponse {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t pending = 0;
+};
+
+struct ErrorResponse {
+  std::string reason;
+};
+
+using Message = std::variant<ModelRequest, ModelResponse, UploadRequest,
+                             UploadResponse, ErrorResponse>;
+
+/// Serialises a message to its wire form.
+[[nodiscard]] std::string encode(const Message& message);
+
+/// Parses a wire string. Throws std::runtime_error on malformed input
+/// (bad magic, unknown type, truncated body).
+[[nodiscard]] Message decode(const std::string& wire);
+
+/// Server side: binds a SpectrumDatabase behind the protocol. Every
+/// request wire string maps to exactly one response wire string; internal
+/// errors surface as ErrorResponse rather than exceptions.
+class ProtocolServer {
+ public:
+  explicit ProtocolServer(SpectrumDatabase& database)
+      : database_(&database) {}
+
+  [[nodiscard]] std::string handle(const std::string& request_wire);
+
+ private:
+  SpectrumDatabase* database_;
+};
+
+/// Client side: issues typed requests through a caller-supplied transport
+/// (a callable taking the request wire and returning the response wire).
+class ProtocolClient {
+ public:
+  using Transport = std::function<std::string(const std::string&)>;
+
+  explicit ProtocolClient(Transport transport)
+      : transport_(std::move(transport)) {}
+
+  /// Downloads and deserialises the model for a channel. Throws
+  /// std::runtime_error carrying the server's reason on error replies.
+  [[nodiscard]] WhiteSpaceModel fetch_model(int channel,
+                                            const geo::EnuPoint& location);
+
+  /// Uploads measurements; returns the server's ledger.
+  UploadResponse upload(int channel, const std::string& contributor,
+                        std::span<const campaign::Measurement> readings);
+
+ private:
+  Transport transport_;
+};
+
+}  // namespace waldo::core

@@ -1,0 +1,166 @@
+#include "waldo/core/model.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "waldo/core/features.hpp"
+#include "waldo/ml/decision_tree.hpp"
+#include "waldo/ml/kmeans.hpp"
+#include "waldo/ml/logistic_regression.hpp"
+#include "waldo/ml/knn.hpp"
+#include "waldo/ml/naive_bayes.hpp"
+#include "waldo/ml/svm.hpp"
+
+namespace waldo::core {
+
+std::unique_ptr<ml::Classifier> make_classifier(const std::string& kind) {
+  if (kind == "svm") return std::make_unique<ml::Svm>();
+  if (kind == "naive_bayes") return std::make_unique<ml::GaussianNaiveBayes>();
+  if (kind == "decision_tree") return std::make_unique<ml::DecisionTree>();
+  if (kind == "knn") return std::make_unique<ml::KnnClassifier>();
+  if (kind == "logistic_regression") {
+    return std::make_unique<ml::LogisticRegression>();
+  }
+  throw std::invalid_argument("unknown classifier kind: " + kind);
+}
+
+WhiteSpaceModel::WhiteSpaceModel(int channel, int num_features,
+                                 std::string classifier_kind,
+                                 ml::Matrix centroids,
+                                 std::vector<Locality> localities)
+    : channel_(channel),
+      num_features_(num_features),
+      classifier_kind_(std::move(classifier_kind)),
+      centroids_(std::move(centroids)),
+      localities_(std::move(localities)) {
+  if (centroids_.rows() != localities_.size()) {
+    throw std::invalid_argument("centroid / locality count mismatch");
+  }
+  if (centroids_.cols() != 2) {
+    throw std::invalid_argument("centroids must be 2-D locations");
+  }
+}
+
+std::size_t WhiteSpaceModel::num_constant_localities() const noexcept {
+  std::size_t n = 0;
+  for (const Locality& l : localities_) n += l.constant ? 1 : 0;
+  return n;
+}
+
+std::optional<int> WhiteSpaceModel::constant_label() const {
+  if (localities_.empty()) return std::nullopt;
+  const Locality& first = localities_.front();
+  if (!first.constant) return std::nullopt;
+  for (const Locality& l : localities_) {
+    if (!l.constant || l.constant_label != first.constant_label) {
+      return std::nullopt;
+    }
+  }
+  return first.constant_label;
+}
+
+std::size_t WhiteSpaceModel::locality_of(const geo::EnuPoint& p) const {
+  if (centroids_.rows() == 0) throw std::logic_error("model has no localities");
+  const double loc[2] = {p.east_m, p.north_m};
+  return ml::nearest_centroid(centroids_, loc);
+}
+
+int WhiteSpaceModel::predict(std::span<const double> feature_row) const {
+  if (feature_row.size() != feature_columns(num_features_)) {
+    throw std::invalid_argument("feature row width mismatch");
+  }
+  const std::size_t c =
+      locality_of(geo::EnuPoint{feature_row[0], feature_row[1]});
+  const Locality& l = localities_[c];
+  if (l.constant) return l.constant_label;
+  return l.classifier->predict(feature_row);
+}
+
+void WhiteSpaceModel::save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "waldo_model v1 channel=" << channel_
+      << " features=" << num_features_ << " kind=" << classifier_kind_
+      << " localities=" << localities_.size() << "\n";
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    out << centroids_(c, 0) << " " << centroids_(c, 1) << "\n";
+  }
+  for (const Locality& l : localities_) {
+    if (l.constant) {
+      out << "constant " << l.constant_label << "\n";
+    } else {
+      out << "classifier\n";
+      l.classifier->save(out);
+    }
+  }
+}
+
+void WhiteSpaceModel::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "waldo_model" || version != "v1") {
+    throw std::runtime_error("bad model descriptor header");
+  }
+  std::size_t count = 0;
+  for (int field = 0; field < 4; ++field) {
+    std::string tok;
+    in >> tok;
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("malformed model header field: " + tok);
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "channel") {
+      channel_ = std::stoi(value);
+    } else if (key == "features") {
+      num_features_ = std::stoi(value);
+    } else if (key == "kind") {
+      classifier_kind_ = value;
+    } else if (key == "localities") {
+      count = static_cast<std::size_t>(std::stoul(value));
+    }
+  }
+  centroids_ = ml::Matrix(count, 2);
+  for (std::size_t c = 0; c < count; ++c) {
+    in >> centroids_(c, 0) >> centroids_(c, 1);
+  }
+  localities_.clear();
+  localities_.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    std::string tag;
+    in >> tag;
+    Locality l;
+    if (tag == "constant") {
+      l.constant = true;
+      in >> l.constant_label;
+    } else if (tag == "classifier") {
+      l.classifier = make_classifier(classifier_kind_);
+      l.classifier->load(in);
+    } else {
+      throw std::runtime_error("bad locality tag: " + tag);
+    }
+    localities_.push_back(std::move(l));
+  }
+  if (!in) throw std::runtime_error("truncated model descriptor");
+}
+
+std::string WhiteSpaceModel::serialize() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+WhiteSpaceModel WhiteSpaceModel::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  WhiteSpaceModel m;
+  m.load(is);
+  return m;
+}
+
+std::size_t WhiteSpaceModel::descriptor_size_bytes() const {
+  return serialize().size();
+}
+
+}  // namespace waldo::core

@@ -1,0 +1,98 @@
+#include "waldo/core/model_constructor.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "waldo/core/features.hpp"
+#include "waldo/ml/kmeans.hpp"
+#include "waldo/ml/metrics.hpp"
+
+namespace waldo::core {
+
+WhiteSpaceModel ModelConstructor::build(const campaign::ChannelDataset& data,
+                                        std::span<const int> labels) const {
+  if (data.readings.empty()) {
+    throw std::invalid_argument("cannot build a model from an empty dataset");
+  }
+  if (labels.size() != data.readings.size()) {
+    throw std::invalid_argument("labels / readings size mismatch");
+  }
+
+  // Localities from reading locations only.
+  ml::Matrix locations(data.readings.size(), 2);
+  for (std::size_t i = 0; i < data.readings.size(); ++i) {
+    locations(i, 0) = data.readings[i].position.east_m;
+    locations(i, 1) = data.readings[i].position.north_m;
+  }
+  ml::KMeansConfig kmc;
+  kmc.k = std::max<std::size_t>(1, config_.num_localities);
+  kmc.seed = config_.seed;
+  const ml::KMeansResult clusters = ml::kmeans(locations, kmc);
+  const std::size_t k = clusters.centroids.rows();
+
+  const ml::Matrix features = build_features(data, config_.num_features);
+
+  std::vector<WhiteSpaceModel::Locality> localities;
+  localities.reserve(k);
+  std::mt19937_64 rng(config_.seed + 1);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<std::size_t> member;
+    for (std::size_t i = 0; i < data.readings.size(); ++i) {
+      if (clusters.assignment[i] == c) member.push_back(i);
+    }
+
+    WhiteSpaceModel::Locality loc;
+    std::size_t safe = 0;
+    for (const std::size_t i : member) safe += labels[i] == ml::kSafe ? 1 : 0;
+
+    if (member.empty() || safe == 0 || safe == member.size()) {
+      // Binary locality: no classifier to ship. Empty localities default
+      // to the conservative "not safe".
+      loc.constant = true;
+      loc.constant_label = (!member.empty() && safe == member.size())
+                               ? ml::kSafe
+                               : ml::kNotSafe;
+      localities.push_back(std::move(loc));
+      continue;
+    }
+
+    if (config_.max_train_samples > 0 &&
+        member.size() > config_.max_train_samples) {
+      std::shuffle(member.begin(), member.end(), rng);
+      member.resize(config_.max_train_samples);
+    }
+
+    const ml::Matrix x = features.take_rows(member);
+    std::vector<int> y;
+    y.reserve(member.size());
+    for (const std::size_t i : member) y.push_back(labels[i]);
+
+    std::unique_ptr<ml::Classifier> clf;
+    if (config_.classifier == "svm") {
+      clf = std::make_unique<ml::Svm>(config_.svm);
+    } else {
+      clf = make_classifier(config_.classifier);
+    }
+    clf->fit(x, y);
+    loc.classifier = std::move(clf);
+    localities.push_back(std::move(loc));
+  }
+
+  return WhiteSpaceModel(data.channel, config_.num_features,
+                         config_.classifier, clusters.centroids,
+                         std::move(localities));
+}
+
+WhiteSpaceModel ModelConstructor::build_with_labeling(
+    const campaign::ChannelDataset& data,
+    const campaign::LabelingConfig& labeling) const {
+  const std::vector<geo::EnuPoint> positions = data.positions();
+  const std::vector<double> rss = data.rss_values();
+  const std::vector<int> labels =
+      campaign::label_readings(positions, rss, labeling);
+  return build(data, labels);
+}
+
+}  // namespace waldo::core

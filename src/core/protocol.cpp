@@ -1,0 +1,205 @@
+#include "waldo/core/protocol.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace waldo::core {
+
+namespace {
+
+constexpr const char* kMagic = "WSNP/1";
+
+[[nodiscard]] const char* type_name(const Message& m) {
+  struct Visitor {
+    const char* operator()(const ModelRequest&) { return "model_request"; }
+    const char* operator()(const ModelResponse&) { return "model_response"; }
+    const char* operator()(const UploadRequest&) { return "upload_request"; }
+    const char* operator()(const UploadResponse&) {
+      return "upload_response";
+    }
+    const char* operator()(const ErrorResponse&) { return "error"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+[[nodiscard]] std::string encode_body(const Message& m) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  struct Visitor {
+    std::ostringstream& os;
+    void operator()(const ModelRequest& r) {
+      os << r.channel << " " << r.location.east_m << " "
+         << r.location.north_m << "\n";
+    }
+    void operator()(const ModelResponse& r) {
+      os << r.channel << "\n" << r.descriptor;
+    }
+    void operator()(const UploadRequest& r) {
+      if (r.contributor.empty() ||
+          r.contributor.find_first_of(" \t\n") != std::string::npos) {
+        throw std::invalid_argument(
+            "contributor must be a single non-empty token");
+      }
+      os << r.channel << " " << r.contributor << " " << r.readings.size()
+         << "\n";
+      for (const campaign::Measurement& m : r.readings) {
+        os << m.position.east_m << " " << m.position.north_m << " " << m.raw
+           << " " << m.rss_dbm << " " << m.cft_db << " " << m.aft_db << "\n";
+      }
+    }
+    void operator()(const UploadResponse& r) {
+      os << r.accepted << " " << r.rejected << " " << r.pending << "\n";
+    }
+    void operator()(const ErrorResponse& r) { os << r.reason << "\n"; }
+  };
+  std::visit(Visitor{os}, m);
+  return os.str();
+}
+
+[[nodiscard]] Message decode_body(const std::string& type,
+                                  const std::string& body) {
+  std::istringstream is(body);
+  if (type == "model_request") {
+    ModelRequest r;
+    if (!(is >> r.channel >> r.location.east_m >> r.location.north_m)) {
+      throw std::runtime_error("malformed model_request body");
+    }
+    return r;
+  }
+  if (type == "model_response") {
+    ModelResponse r;
+    std::string first_line;
+    if (!std::getline(is, first_line)) {
+      throw std::runtime_error("malformed model_response body");
+    }
+    r.channel = std::stoi(first_line);
+    std::ostringstream rest;
+    rest << is.rdbuf();
+    r.descriptor = rest.str();
+    return r;
+  }
+  if (type == "upload_request") {
+    UploadRequest r;
+    std::size_t count = 0;
+    if (!(is >> r.channel >> r.contributor >> count)) {
+      throw std::runtime_error("malformed upload_request body");
+    }
+    r.readings.resize(count);
+    for (campaign::Measurement& m : r.readings) {
+      if (!(is >> m.position.east_m >> m.position.north_m >> m.raw >>
+            m.rss_dbm >> m.cft_db >> m.aft_db)) {
+        throw std::runtime_error("truncated upload_request body");
+      }
+    }
+    return r;
+  }
+  if (type == "upload_response") {
+    UploadResponse r;
+    if (!(is >> r.accepted >> r.rejected >> r.pending)) {
+      throw std::runtime_error("malformed upload_response body");
+    }
+    return r;
+  }
+  if (type == "error") {
+    ErrorResponse r;
+    std::getline(is, r.reason);
+    return r;
+  }
+  throw std::runtime_error("unknown WSNP message type: " + type);
+}
+
+}  // namespace
+
+std::string encode(const Message& message) {
+  const std::string body = encode_body(message);
+  std::ostringstream os;
+  os << kMagic << " " << type_name(message) << " " << body.size() << "\n"
+     << body;
+  return os.str();
+}
+
+Message decode(const std::string& wire) {
+  const auto header_end = wire.find('\n');
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("WSNP: missing header line");
+  }
+  std::istringstream header(wire.substr(0, header_end));
+  std::string magic, type;
+  std::size_t length = 0;
+  if (!(header >> magic >> type >> length) || magic != kMagic) {
+    throw std::runtime_error("WSNP: bad header");
+  }
+  const std::string body = wire.substr(header_end + 1);
+  if (body.size() != length) {
+    throw std::runtime_error("WSNP: body length mismatch");
+  }
+  return decode_body(type, body);
+}
+
+std::string ProtocolServer::handle(const std::string& request_wire) {
+  Message request;
+  try {
+    request = decode(request_wire);
+  } catch (const std::exception& e) {
+    return encode(ErrorResponse{.reason = e.what()});
+  }
+
+  try {
+    if (const auto* r = std::get_if<ModelRequest>(&request)) {
+      if (!database_->has_channel(r->channel)) {
+        return encode(ErrorResponse{
+            .reason = "no data for channel " + std::to_string(r->channel)});
+      }
+      return encode(ModelResponse{
+          .channel = r->channel,
+          .descriptor = database_->download_model(r->channel)});
+    }
+    if (const auto* r = std::get_if<UploadRequest>(&request)) {
+      const SpectrumDatabase::UploadResult result =
+          database_->upload_measurements(r->channel, r->readings,
+                                         r->contributor);
+      return encode(UploadResponse{.accepted = result.accepted,
+                                   .rejected = result.rejected,
+                                   .pending = result.pending});
+    }
+  } catch (const std::exception& e) {
+    return encode(ErrorResponse{.reason = e.what()});
+  }
+  return encode(
+      ErrorResponse{.reason = "server only accepts request messages"});
+}
+
+WhiteSpaceModel ProtocolClient::fetch_model(int channel,
+                                            const geo::EnuPoint& location) {
+  const Message reply = decode(transport_(
+      encode(ModelRequest{.channel = channel, .location = location})));
+  if (const auto* error = std::get_if<ErrorResponse>(&reply)) {
+    throw std::runtime_error("WSNP error: " + error->reason);
+  }
+  const auto* response = std::get_if<ModelResponse>(&reply);
+  if (response == nullptr) {
+    throw std::runtime_error("WSNP: unexpected reply to model request");
+  }
+  return WhiteSpaceModel::deserialize(response->descriptor);
+}
+
+UploadResponse ProtocolClient::upload(
+    int channel, const std::string& contributor,
+    std::span<const campaign::Measurement> readings) {
+  UploadRequest request;
+  request.channel = channel;
+  request.contributor = contributor;
+  request.readings.assign(readings.begin(), readings.end());
+  const Message reply = decode(transport_(encode(request)));
+  if (const auto* error = std::get_if<ErrorResponse>(&reply)) {
+    throw std::runtime_error("WSNP error: " + error->reason);
+  }
+  const auto* response = std::get_if<UploadResponse>(&reply);
+  if (response == nullptr) {
+    throw std::runtime_error("WSNP: unexpected reply to upload request");
+  }
+  return *response;
+}
+
+}  // namespace waldo::core

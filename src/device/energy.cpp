@@ -1,0 +1,35 @@
+#include "waldo/device/energy.hpp"
+
+namespace waldo::device {
+
+double scan_energy_j(const ScanReport& report, const EnergyModel& model) {
+  double acquisition_s = 0.0;
+  for (const ChannelScan& scan : report.channels) {
+    acquisition_s += scan.acquisition_time_s;
+  }
+  return acquisition_s * model.sdr_active_w +
+         report.processing_time_s * model.cpu_active_w;
+}
+
+double transfer_energy_j(std::size_t bytes, const EnergyModel& model) {
+  return model.radio_wakeup_j +
+         static_cast<double>(bytes) / 1024.0 * model.radio_j_per_kb;
+}
+
+double waldo_daily_energy_j(std::size_t model_bytes,
+                            const ScanReport& typical_cycle,
+                            std::size_t cycles_per_day,
+                            const EnergyModel& model) {
+  return transfer_energy_j(model_bytes, model) +
+         static_cast<double>(cycles_per_day) *
+             scan_energy_j(typical_cycle, model);
+}
+
+double database_daily_energy_j(std::size_t query_bytes,
+                               std::size_t queries_per_day,
+                               const EnergyModel& model) {
+  return static_cast<double>(queries_per_day) *
+         transfer_energy_j(query_bytes, model);
+}
+
+}  // namespace waldo::device

@@ -1,0 +1,48 @@
+// Device energy accounting (Section 5 / the Brouwers-Langendoen question:
+// "will dynamic spectrum access drain my battery?"). Converts scan reports
+// and network exchanges into joules so the three access strategies —
+// Waldo (one model download, local sensing), conventional database (one
+// query per location change) and sensing-only — compare on battery cost.
+#pragma once
+
+#include <cstddef>
+
+#include "waldo/device/phone.hpp"
+
+namespace waldo::device {
+
+struct EnergyModel {
+  /// RTL-SDR dongle powered over USB-OTG while acquiring.
+  double sdr_active_w = 1.1;
+  /// Application processor while crunching samples.
+  double cpu_active_w = 1.6;
+  /// Cellular radio energy per kilobyte transferred (LTE class).
+  double radio_j_per_kb = 0.12;
+  /// Fixed cost of waking the cellular radio for one round trip (RRC
+  /// promotion + tail energy).
+  double radio_wakeup_j = 6.0;
+};
+
+/// Energy of one scan cycle: dongle during acquisition + CPU during
+/// processing.
+[[nodiscard]] double scan_energy_j(const ScanReport& report,
+                                   const EnergyModel& model = {});
+
+/// Energy of one network exchange of `bytes` (query or model download).
+[[nodiscard]] double transfer_energy_j(std::size_t bytes,
+                                       const EnergyModel& model = {});
+
+/// Daily energy of the Waldo strategy: one model download per channel set
+/// plus `cycles_per_day` local scan cycles.
+[[nodiscard]] double waldo_daily_energy_j(std::size_t model_bytes,
+                                          const ScanReport& typical_cycle,
+                                          std::size_t cycles_per_day,
+                                          const EnergyModel& model = {});
+
+/// Daily energy of the conventional-database strategy: one query round
+/// trip per re-check (a few kB each), no sensing.
+[[nodiscard]] double database_daily_energy_j(std::size_t query_bytes,
+                                             std::size_t queries_per_day,
+                                             const EnergyModel& model = {});
+
+}  // namespace waldo::device

@@ -1,0 +1,83 @@
+#include "waldo/dsp/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "waldo/rf/channels.hpp"
+#include "waldo/rf/units.hpp"
+
+namespace waldo::dsp {
+
+namespace {
+constexpr double kFloorMw = 1e-22;  // ~ -220 dBm; keeps log10 finite
+}
+
+double energy_detector_dbm(std::span<const cplx> capture) {
+  return rf::mw_to_dbm(std::max(mean_power(capture), kFloorMw));
+}
+
+double pilot_band_power_dbm(std::span<const cplx> capture,
+                            std::size_t pilot_bins) {
+  if (pilot_bins == 0 || pilot_bins % 2 == 0) {
+    throw std::invalid_argument("pilot_bins must be odd and nonzero");
+  }
+  const std::vector<double> ps = power_spectrum_shifted(capture);
+  const std::size_t n = ps.size();
+  if (pilot_bins > n) pilot_bins = n | 1;
+  const std::size_t c = n / 2;
+  const std::size_t half = pilot_bins / 2;
+  double mw = 0.0;
+  for (std::size_t k = c - half; k <= c + half; ++k) mw += ps[k];
+  return rf::mw_to_dbm(std::max(mw, kFloorMw));
+}
+
+double pilot_detector_dbm(std::span<const cplx> capture,
+                          std::size_t pilot_bins) {
+  return pilot_band_power_dbm(capture, pilot_bins) +
+         rf::kPilotToChannelCorrectionDb;
+}
+
+double matched_pilot_power_dbm(std::span<const cplx> capture,
+                               std::size_t search_bins,
+                               std::size_t pilot_bins) {
+  if (search_bins == 0 || search_bins % 2 == 0) {
+    throw std::invalid_argument("search_bins must be odd and nonzero");
+  }
+  if (pilot_bins == 0 || pilot_bins % 2 == 0) {
+    throw std::invalid_argument("pilot_bins must be odd and nonzero");
+  }
+  const std::vector<double> ps = power_spectrum_shifted(capture);
+  const std::size_t n = ps.size();
+  const std::size_t c = n / 2;
+  const std::size_t search_half = std::min(search_bins / 2, c - 1);
+  const std::size_t pilot_half = pilot_bins / 2;
+  double best_mw = kFloorMw;
+  for (std::size_t k = c - search_half; k <= c + search_half; ++k) {
+    double mw = 0.0;
+    for (std::size_t j = k - pilot_half; j <= k + pilot_half && j < n; ++j) {
+      mw += ps[j];
+    }
+    best_mw = std::max(best_mw, mw);
+  }
+  return rf::mw_to_dbm(best_mw);
+}
+
+double central_bin_db(std::span<const cplx> capture) {
+  const std::vector<double> ps = power_spectrum_shifted(capture);
+  return rf::mw_to_dbm(std::max(ps[ps.size() / 2], kFloorMw));
+}
+
+double central_band_mean_db(std::span<const cplx> capture, double fraction) {
+  const std::vector<double> ps = power_spectrum_shifted(capture);
+  const std::size_t n = ps.size();
+  const auto span_bins = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(n)));
+  const std::size_t start = (n - span_bins) / 2;
+  double mw = 0.0;
+  for (std::size_t k = start; k < start + span_bins; ++k) mw += ps[k];
+  mw /= static_cast<double>(span_bins);
+  return rf::mw_to_dbm(std::max(mw, kFloorMw));
+}
+
+}  // namespace waldo::dsp

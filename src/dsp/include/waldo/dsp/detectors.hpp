@@ -1,0 +1,44 @@
+// Detection statistics over I/Q captures: the classic full-band energy
+// detector and the pilot-narrowband detector the paper adopts from V-Scope
+// (pilot-band power + 12 dB), which buys ~8 dB of effective noise-floor
+// headroom over full-band energy detection.
+#pragma once
+
+#include <span>
+
+#include "waldo/dsp/fft.hpp"
+#include "waldo/dsp/iq.hpp"
+
+namespace waldo::dsp {
+
+/// Full-capture energy estimate in dBm (mean |x|^2 over the capture).
+[[nodiscard]] double energy_detector_dbm(std::span<const cplx> capture);
+
+/// Pilot-band power in dBm: sum of the `pilot_bins` central fftshifted DFT
+/// bins (the capture is tuned to the pilot). `pilot_bins` must be odd.
+[[nodiscard]] double pilot_band_power_dbm(std::span<const cplx> capture,
+                                          std::size_t pilot_bins = 3);
+
+/// The paper's channel-power estimate: pilot-band power plus the 12 dB
+/// pilot-to-channel correction.
+[[nodiscard]] double pilot_detector_dbm(std::span<const cplx> capture,
+                                        std::size_t pilot_bins = 3);
+
+/// Matched-filter pilot search: the maximum pilot-band power over a window
+/// of candidate frequency offsets (bins) around the capture centre, dBm.
+/// Robust to tuner frequency error, which defeats the fixed central-bin
+/// statistic: a pilot `offset` bins away still correlates at full strength
+/// with the matching complex exponential. `search_bins` must be odd.
+[[nodiscard]] double matched_pilot_power_dbm(std::span<const cplx> capture,
+                                             std::size_t search_bins = 9,
+                                             std::size_t pilot_bins = 3);
+
+/// Central DFT bin power in dB (relative scale) — the CFT feature.
+[[nodiscard]] double central_bin_db(std::span<const cplx> capture);
+
+/// Mean power of the central `fraction` of DFT bins in dB — the AFT
+/// feature (paper: central 15 %).
+[[nodiscard]] double central_band_mean_db(std::span<const cplx> capture,
+                                          double fraction = 0.15);
+
+}  // namespace waldo::dsp

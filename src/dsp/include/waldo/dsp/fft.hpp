@@ -1,0 +1,41 @@
+// Minimal in-place radix-2 FFT and spectral helpers. No external DSP
+// dependency: feature extraction (CFT/AFT) and the pilot detector need only
+// power-of-two transforms over short captures.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace waldo::dsp {
+
+using cplx = std::complex<double>;
+
+/// True if n is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward FFT. `data.size()` must be a power of two.
+void fft_inplace(std::span<cplx> data);
+
+/// In-place inverse FFT (normalised by 1/N).
+void ifft_inplace(std::span<cplx> data);
+
+/// Forward FFT returning a new vector.
+[[nodiscard]] std::vector<cplx> fft(std::span<const cplx> data);
+
+/// Per-bin power |X_k|^2 / N^2 of the FFT of `data`, in linear units of the
+/// input's power scale, arranged with DC at index N/2 (fftshift order) so
+/// bin N/2 is the capture's centre frequency.
+[[nodiscard]] std::vector<double> power_spectrum_shifted(
+    std::span<const cplx> data);
+
+/// Hann window coefficients.
+[[nodiscard]] std::vector<double> hann_window(std::size_t n);
+
+/// Mean |x|^2 of a capture (the classic energy detector statistic) in the
+/// input's linear power scale.
+[[nodiscard]] double mean_power(std::span<const cplx> data) noexcept;
+
+}  // namespace waldo::dsp

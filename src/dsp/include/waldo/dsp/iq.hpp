@@ -1,0 +1,48 @@
+// Synthesis of short complex-baseband captures of an ATSC-like TV signal as
+// seen by an SDR tuned to a channel's pilot. The capture is built in the
+// frequency domain so the band structure (pilot tone, in-channel data
+// spectrum, out-of-channel silence, white noise floor) is exact, then
+// inverse-transformed to the 256 time-domain I/Q samples the paper's energy
+// detector and feature extractor consume.
+//
+// Amplitude convention: |x|^2 averaged over the capture equals power in
+// linear milliwatts, so dsp::mean_power() composes with rf::mw_to_dbm().
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "waldo/dsp/fft.hpp"
+
+namespace waldo::dsp {
+
+struct CaptureConfig {
+  std::size_t num_samples = 256;     ///< paper: 256 I/Q samples per reading
+  double sample_rate_hz = 2.4e6;     ///< RTL-SDR-class tuner bandwidth
+  /// Pilot position relative to the capture centre, Hz. 0 = tuned exactly
+  /// to the pilot (the campaign setup).
+  double pilot_offset_hz = 0.0;
+  /// Fraction of the capture band (above the pilot) occupied by in-channel
+  /// data. With the tuner on the pilot (309 kHz above the lower edge), the
+  /// lower ~0.89 MHz of a 2.4 MHz window is out of channel.
+  double lower_edge_offset_hz = 309'440.559;
+  double channel_bandwidth_hz = 6e6;
+};
+
+/// Generates one capture of a TV channel.
+///
+/// `channel_power_dbm`: total 6 MHz channel power at the antenna; pass a
+///     very low value (e.g. -200) for a vacant channel.
+/// `noise_power_dbm`: total in-capture noise power (thermal + receiver NF).
+[[nodiscard]] std::vector<cplx> synthesize_capture(
+    const CaptureConfig& config, double channel_power_dbm,
+    double noise_power_dbm, std::mt19937_64& rng);
+
+/// In-capture share of the channel's data power: the fraction of the 6 MHz
+/// data spectrum that falls inside the capture window, as a linear ratio.
+[[nodiscard]] double in_capture_data_fraction(const CaptureConfig& config)
+    noexcept;
+
+}  // namespace waldo::dsp

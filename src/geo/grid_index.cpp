@@ -1,0 +1,115 @@
+#include "waldo/geo/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace waldo::geo {
+
+GridIndex::GridIndex(std::vector<EnuPoint> points, double cell_size_m)
+    : points_(std::move(points)), cell_size_m_(cell_size_m) {
+  if (cell_size_m <= 0.0) {
+    throw std::invalid_argument("GridIndex cell size must be positive");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cells_[cell_of(points_[i])].push_back(i);
+  }
+}
+
+GridIndex::CellKey GridIndex::cell_of(const EnuPoint& p) const noexcept {
+  return CellKey{
+      .cx = static_cast<std::int64_t>(std::floor(p.east_m / cell_size_m_)),
+      .cy = static_cast<std::int64_t>(std::floor(p.north_m / cell_size_m_))};
+}
+
+void GridIndex::for_each_within(
+    const EnuPoint& center, double radius_m,
+    const std::function<void(std::size_t)>& fn) const {
+  if (radius_m < 0.0) return;
+  const CellKey c0 = cell_of(EnuPoint{center.east_m - radius_m,
+                                      center.north_m - radius_m});
+  const CellKey c1 = cell_of(EnuPoint{center.east_m + radius_m,
+                                      center.north_m + radius_m});
+  const double r2 = radius_m * radius_m;
+  for (std::int64_t cx = c0.cx; cx <= c1.cx; ++cx) {
+    for (std::int64_t cy = c0.cy; cy <= c1.cy; ++cy) {
+      const auto it = cells_.find(CellKey{cx, cy});
+      if (it == cells_.end()) continue;
+      for (const std::size_t i : it->second) {
+        const double de = points_[i].east_m - center.east_m;
+        const double dn = points_[i].north_m - center.north_m;
+        if (de * de + dn * dn <= r2) fn(i);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> GridIndex::query_radius(const EnuPoint& center,
+                                                 double radius_m) const {
+  std::vector<std::size_t> out;
+  for_each_within(center, radius_m,
+                  [&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::size_t GridIndex::nearest(const EnuPoint& center) const {
+  if (points_.empty()) return 0;
+  // Expand the search ring until a hit is found, then verify one extra ring
+  // (a point in a farther cell can still be closer than one found first).
+  double best_d2 = std::numeric_limits<double>::infinity();
+  std::size_t best = points_.size();
+  for (double radius = cell_size_m_;; radius *= 2.0) {
+    for_each_within(center, radius, [&](std::size_t i) {
+      const double de = points_[i].east_m - center.east_m;
+      const double dn = points_[i].north_m - center.north_m;
+      const double d2 = de * de + dn * dn;
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    });
+    if (best != points_.size() && best_d2 <= radius * radius) return best;
+    if (radius > 1e9) break;  // degenerate: points extremely far away
+  }
+  // Fall back to a linear scan for pathological layouts.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double de = points_[i].east_m - center.east_m;
+    const double dn = points_[i].north_m - center.north_m;
+    const double d2 = de * de + dn * dn;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> GridIndex::k_nearest(const EnuPoint& center,
+                                              std::size_t k) const {
+  k = std::min(k, points_.size());
+  if (k == 0) return {};
+  std::vector<std::size_t> candidates;
+  for (double radius = cell_size_m_;; radius *= 2.0) {
+    candidates = query_radius(center, radius);
+    if (candidates.size() >= k || radius > 1e9) break;
+  }
+  if (candidates.size() < k) {
+    candidates.resize(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) candidates[i] = i;
+  }
+  const auto dist2 = [&](std::size_t i) {
+    const double de = points_[i].east_m - center.east_m;
+    const double dn = points_[i].north_m - center.north_m;
+    return de * de + dn * dn;
+  };
+  std::partial_sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(k),
+                    candidates.end(), [&](std::size_t a, std::size_t b) {
+                      return dist2(a) < dist2(b);
+                    });
+  candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace waldo::geo

@@ -1,0 +1,64 @@
+// Uniform-grid spatial index over ENU points. Built once, queried many
+// times; radius queries are the hot path of Algorithm 1 labeling (every
+// strong reading poisons all readings within 6 km).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "waldo/geo/latlon.hpp"
+
+namespace waldo::geo {
+
+class GridIndex {
+ public:
+  /// Builds an index over `points`. `cell_size_m` trades memory for query
+  /// selectivity; pick it near the typical query radius.
+  GridIndex(std::vector<EnuPoint> points, double cell_size_m);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] double cell_size_m() const noexcept { return cell_size_m_; }
+  [[nodiscard]] const std::vector<EnuPoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Indices of all points within `radius_m` of `center` (inclusive).
+  [[nodiscard]] std::vector<std::size_t> query_radius(
+      const EnuPoint& center, double radius_m) const;
+
+  /// Calls `fn(index)` for every point within `radius_m` of `center`.
+  void for_each_within(const EnuPoint& center, double radius_m,
+                       const std::function<void(std::size_t)>& fn) const;
+
+  /// Index of the nearest point to `center`, or `size()` if empty.
+  [[nodiscard]] std::size_t nearest(const EnuPoint& center) const;
+
+  /// Indices of the k nearest points, closest first.
+  [[nodiscard]] std::vector<std::size_t> k_nearest(const EnuPoint& center,
+                                                   std::size_t k) const;
+
+ private:
+  struct CellKey {
+    std::int64_t cx;
+    std::int64_t cy;
+    friend bool operator==(const CellKey&, const CellKey&) = default;
+  };
+  struct CellKeyHash {
+    [[nodiscard]] std::size_t operator()(const CellKey& k) const noexcept {
+      const auto h1 = static_cast<std::uint64_t>(k.cx) * 0x9E3779B97F4A7C15ULL;
+      const auto h2 = static_cast<std::uint64_t>(k.cy) * 0xC2B2AE3D27D4EB4FULL;
+      return static_cast<std::size_t>(h1 ^ (h2 >> 1));
+    }
+  };
+
+  [[nodiscard]] CellKey cell_of(const EnuPoint& p) const noexcept;
+
+  std::vector<EnuPoint> points_;
+  double cell_size_m_;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> cells_;
+};
+
+}  // namespace waldo::geo

@@ -1,0 +1,47 @@
+// Binary-classifier interface shared by every model Waldo can ship to a
+// white-space device. Models must be (de)serializable to a compact text
+// descriptor — descriptor size is itself an evaluation metric of the paper
+// (Section 5: ~4 kB Naive Bayes vs ~40 kB SVM).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "waldo/ml/matrix.hpp"
+
+namespace waldo::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on feature rows `x` with labels `y` (kSafe / kNotSafe).
+  virtual void fit(const Matrix& x, std::span<const int> y) = 0;
+
+  /// Predicted label for one feature vector. Requires a trained model.
+  [[nodiscard]] virtual int predict(std::span<const double> x) const = 0;
+
+  /// Predictions for every row of `x`.
+  [[nodiscard]] std::vector<int> predict_all(const Matrix& x) const;
+
+  /// Short model-family identifier ("svm", "naive_bayes", ...).
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Writes / reads the full model descriptor. The descriptor is what a
+  /// WSD downloads from the spectrum database.
+  virtual void save(std::ostream& out) const = 0;
+  virtual void load(std::istream& in) = 0;
+
+  /// Descriptor size in bytes (serialises to a string internally).
+  [[nodiscard]] std::size_t descriptor_size_bytes() const;
+};
+
+/// A callable producing fresh, untrained classifiers — what cross
+/// validation and the per-cluster model constructor consume.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace waldo::ml

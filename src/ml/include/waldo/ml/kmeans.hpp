@@ -1,0 +1,34 @@
+// Lloyd's k-means with k-means++ seeding — the localities-identification
+// step of the Model Constructor (Section 3.2): co-located readings are
+// clustered and one classifier is trained per cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "waldo/ml/matrix.hpp"
+
+namespace waldo::ml {
+
+struct KMeansConfig {
+  std::size_t k = 3;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;  ///< relative inertia improvement to stop
+  std::uint64_t seed = 11;
+};
+
+struct KMeansResult {
+  Matrix centroids;                     ///< k x d
+  std::vector<std::size_t> assignment;  ///< row -> cluster id
+  double inertia = 0.0;                 ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Clusters the rows of `x`. k is clamped to the number of rows. Empty
+/// clusters are re-seeded from the point farthest from its centroid.
+[[nodiscard]] KMeansResult kmeans(const Matrix& x, const KMeansConfig& config);
+
+/// Index of the centroid nearest to `x`.
+[[nodiscard]] std::size_t nearest_centroid(const Matrix& centroids,
+                                           std::span<const double> x);
+
+}  // namespace waldo::ml

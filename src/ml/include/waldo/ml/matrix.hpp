@@ -1,0 +1,64 @@
+// Small dense row-major matrix used as the feature container of the ML
+// library. Not a linear-algebra package: classifiers here need row access,
+// dot products and column statistics, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace waldo::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from row vectors; all rows must share one length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+
+  /// Copy of selected rows, in the given order.
+  [[nodiscard]] Matrix take_rows(std::span<const std::size_t> idx) const;
+
+  /// Copy of the first `k` columns of every row.
+  [[nodiscard]] Matrix take_cols(std::size_t k) const;
+
+  void push_row(std::span<const double> row);
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance between equal-length vectors.
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b);
+
+}  // namespace waldo::ml

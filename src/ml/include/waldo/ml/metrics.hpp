@@ -1,0 +1,47 @@
+// Detection metrics with the paper's polarity. The positive class (label 1)
+// is "safe — channel vacant, white space available"; label 0 is "not safe".
+//   false positive: declared vacant while occupied  -> safety violation
+//   false negative: declared occupied while vacant  -> lost opportunity
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace waldo::ml {
+
+/// Class labels used across the library.
+inline constexpr int kNotSafe = 0;
+inline constexpr int kSafe = 1;
+
+struct ConfusionMatrix {
+  std::size_t true_safe = 0;       ///< predicted safe,   actually safe
+  std::size_t false_safe = 0;      ///< predicted safe,   actually NOT safe
+  std::size_t true_not_safe = 0;   ///< predicted not,    actually NOT safe
+  std::size_t false_not_safe = 0;  ///< predicted not,    actually safe
+
+  void add(int predicted, int actual) noexcept;
+  void merge(const ConfusionMatrix& other) noexcept;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return true_safe + false_safe + true_not_safe + false_not_safe;
+  }
+  [[nodiscard]] std::size_t actually_safe() const noexcept {
+    return true_safe + false_not_safe;
+  }
+  [[nodiscard]] std::size_t actually_not_safe() const noexcept {
+    return true_not_safe + false_safe;
+  }
+
+  /// FP rate: fraction of occupied cases declared vacant (safety; keep ~0).
+  [[nodiscard]] double fp_rate() const noexcept;
+  /// FN rate: fraction of vacant cases declared occupied (efficiency).
+  [[nodiscard]] double fn_rate() const noexcept;
+  /// Total misclassification fraction.
+  [[nodiscard]] double error_rate() const noexcept;
+};
+
+/// Confusion matrix of two aligned label sequences.
+[[nodiscard]] ConfusionMatrix compare_labels(std::span<const int> predicted,
+                                             std::span<const int> actual);
+
+}  // namespace waldo::ml

@@ -1,0 +1,121 @@
+#include "waldo/ml/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace waldo::ml {
+
+std::size_t nearest_centroid(const Matrix& centroids,
+                             std::span<const double> x) {
+  if (centroids.rows() == 0) throw std::logic_error("no centroids");
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d2 = squared_distance(centroids.row(c), x);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const Matrix& x, const KMeansConfig& config) {
+  if (x.rows() == 0) throw std::invalid_argument("kmeans: empty input");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t k = std::max<std::size_t>(1, std::min(config.k, n));
+
+  std::mt19937_64 rng(config.seed);
+
+  // k-means++ seeding.
+  Matrix centroids(k, d);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  {
+    std::uniform_int_distribution<std::size_t> first(0, n - 1);
+    const auto f = first(rng);
+    std::copy(x.row(f).begin(), x.row(f).end(), centroids.row(0).begin());
+    for (std::size_t c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        min_d2[i] =
+            std::min(min_d2[i], squared_distance(x.row(i),
+                                                 centroids.row(c - 1)));
+        total += min_d2[i];
+      }
+      std::size_t chosen = n - 1;
+      if (total > 0.0) {
+        std::uniform_real_distribution<double> u(0.0, total);
+        double r = u(rng);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (r < min_d2[i]) {
+            chosen = i;
+            break;
+          }
+          r -= min_d2[i];
+        }
+      }
+      std::copy(x.row(chosen).begin(), x.row(chosen).end(),
+                centroids.row(c).begin());
+    }
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.assignment[i] = nearest_centroid(centroids, x.row(i));
+      inertia += squared_distance(centroids.row(result.assignment[i]),
+                                  x.row(i));
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update.
+    Matrix sums(k, d, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) sums(c, j) += x(i, j);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed the empty cluster from the worst-fitted point.
+        std::size_t worst = 0;
+        double worst_d2 = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 = squared_distance(
+              centroids.row(result.assignment[i]), x.row(i));
+          if (d2 > worst_d2) {
+            worst_d2 = d2;
+            worst = i;
+          }
+        }
+        std::copy(x.row(worst).begin(), x.row(worst).end(),
+                  centroids.row(c).begin());
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prev_inertia - inertia <=
+        config.tolerance * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace waldo::ml

@@ -1,0 +1,69 @@
+#include "waldo/ml/knn.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "waldo/ml/metrics.hpp"
+
+namespace waldo::ml {
+
+void KnnClassifier::fit(const Matrix& x, std::span<const int> y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    throw std::invalid_argument("knn: bad training set");
+  }
+  scaler_.fit(x);
+  train_ = scaler_.transform(x);
+  labels_.assign(y.begin(), y.end());
+}
+
+int KnnClassifier::predict(std::span<const double> x_raw) const {
+  if (train_.rows() == 0) throw std::logic_error("knn: not trained");
+  const std::vector<double> x = scaler_.transform(x_raw);
+  const std::size_t k = std::min(config_.k, train_.rows());
+
+  std::vector<std::pair<double, std::size_t>> d2(train_.rows());
+  for (std::size_t i = 0; i < train_.rows(); ++i) {
+    d2[i] = {squared_distance(train_.row(i), x), i};
+  }
+  std::partial_sort(d2.begin(), d2.begin() + static_cast<std::ptrdiff_t>(k),
+                    d2.end());
+  std::size_t safe = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    safe += (labels_[d2[i].second] == kSafe) ? 1 : 0;
+  }
+  // Ties are conservative: not safe.
+  return 2 * safe > k ? kSafe : kNotSafe;
+}
+
+void KnnClassifier::save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "knn " << config_.k << " " << train_.rows() << " " << train_.cols()
+      << "\n";
+  scaler_.save(out);
+  for (std::size_t r = 0; r < train_.rows(); ++r) {
+    out << labels_[r];
+    for (const double v : train_.row(r)) out << " " << v;
+    out << "\n";
+  }
+}
+
+void KnnClassifier::load(std::istream& in) {
+  std::string tag;
+  std::size_t rows = 0, cols = 0;
+  in >> tag >> config_.k >> rows >> cols;
+  if (tag != "knn") throw std::runtime_error("bad knn descriptor");
+  scaler_.load(in);
+  train_ = Matrix(rows, cols);
+  labels_.assign(rows, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    in >> labels_[r];
+    for (std::size_t c = 0; c < cols; ++c) in >> train_(r, c);
+  }
+  if (!in) throw std::runtime_error("truncated knn descriptor");
+}
+
+}  // namespace waldo::ml

@@ -1,0 +1,69 @@
+#include "waldo/ml/matrix.hpp"
+
+namespace waldo::ml {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  if (rows.empty()) return m;
+  m.rows_ = rows.size();
+  m.cols_ = rows.front().size();
+  m.data_.reserve(m.rows_ * m.cols_);
+  for (const auto& r : rows) {
+    if (r.size() != m.cols_) {
+      throw std::invalid_argument("ragged rows in Matrix::from_rows");
+    }
+    m.data_.insert(m.data_.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+Matrix Matrix::take_rows(std::span<const std::size_t> idx) const {
+  Matrix out(idx.size(), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] >= rows_) throw std::out_of_range("take_rows index");
+    const auto src = row(idx[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::take_cols(std::size_t k) const {
+  if (k > cols_) throw std::out_of_range("take_cols count");
+  Matrix out(rows_, k);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto src = row(r);
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(k),
+              out.row(r).begin());
+  }
+  return out;
+}
+
+void Matrix::push_row(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  if (row.size() != cols_) {
+    throw std::invalid_argument("push_row width mismatch");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("distance length mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace waldo::ml

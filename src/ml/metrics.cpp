@@ -1,0 +1,63 @@
+#include "waldo/ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace waldo::ml {
+
+void ConfusionMatrix::add(int predicted, int actual) noexcept {
+  if (actual == kSafe) {
+    if (predicted == kSafe) {
+      ++true_safe;
+    } else {
+      ++false_not_safe;
+    }
+  } else {
+    if (predicted == kSafe) {
+      ++false_safe;
+    } else {
+      ++true_not_safe;
+    }
+  }
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) noexcept {
+  true_safe += other.true_safe;
+  false_safe += other.false_safe;
+  true_not_safe += other.true_not_safe;
+  false_not_safe += other.false_not_safe;
+}
+
+double ConfusionMatrix::fp_rate() const noexcept {
+  const std::size_t denom = actually_not_safe();
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_safe) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::fn_rate() const noexcept {
+  const std::size_t denom = actually_safe();
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_not_safe) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::error_rate() const noexcept {
+  const std::size_t n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(false_safe + false_not_safe) /
+                      static_cast<double>(n);
+}
+
+ConfusionMatrix compare_labels(std::span<const int> predicted,
+                               std::span<const int> actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("label sequences differ in length");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    cm.add(predicted[i], actual[i]);
+  }
+  return cm;
+}
+
+}  // namespace waldo::ml

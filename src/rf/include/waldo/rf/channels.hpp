@@ -1,0 +1,72 @@
+// US broadcast TV channel plan and the ATSC signal constants the detectors
+// rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace waldo::rf {
+
+/// Width of every US TV channel.
+inline constexpr double kChannelBandwidthHz = 6e6;
+
+/// The ATSC pilot sits 309.440559 kHz above the lower channel edge.
+inline constexpr double kPilotOffsetHz = 309'440.559;
+
+/// FCC rule: the pilot carries 11.3 dB less power than the full channel.
+inline constexpr double kPilotBelowChannelDb = 11.3;
+
+/// The paper adds 12 dB to pilot-band power to estimate channel power.
+inline constexpr double kPilotToChannelCorrectionDb = 12.0;
+
+/// Minimum field for a decodable TV signal per FCC (dBm); Algorithm 1's
+/// protection threshold.
+inline constexpr double kDecodableThresholdDbm = -84.0;
+
+/// Sensing threshold the FCC requires of sensing-only devices (dBm).
+inline constexpr double kSensingOnlyThresholdDbm = -114.0;
+
+/// Required separation from a protected contour for portable WSDs (m).
+inline constexpr double kSeparationDistanceM = 6'000.0;
+
+/// Lower edge frequency (Hz) of a US TV channel (2..51). Returns 0 for
+/// out-of-plan channel numbers.
+[[nodiscard]] constexpr double channel_lower_edge_hz(int channel) noexcept {
+  if (channel >= 2 && channel <= 4) return (54.0 + 6.0 * (channel - 2)) * 1e6;
+  if (channel >= 5 && channel <= 6) return (76.0 + 6.0 * (channel - 5)) * 1e6;
+  if (channel >= 7 && channel <= 13) {
+    return (174.0 + 6.0 * (channel - 7)) * 1e6;
+  }
+  if (channel >= 14 && channel <= 51) {
+    return (470.0 + 6.0 * (channel - 14)) * 1e6;
+  }
+  return 0.0;
+}
+
+[[nodiscard]] constexpr bool is_valid_channel(int channel) noexcept {
+  return channel_lower_edge_hz(channel) != 0.0;
+}
+
+[[nodiscard]] constexpr double channel_center_hz(int channel) noexcept {
+  return channel_lower_edge_hz(channel) + kChannelBandwidthHz / 2.0;
+}
+
+[[nodiscard]] constexpr double channel_pilot_hz(int channel) noexcept {
+  return channel_lower_edge_hz(channel) + kPilotOffsetHz;
+}
+
+/// The nine UHF channels measured in the paper's Atlanta campaign.
+inline constexpr std::array<int, 9> kPaperChannels{15, 17, 21, 22, 27,
+                                                   30, 39, 46, 47};
+
+/// The seven channels used for system evaluation (27 and 39 were fully
+/// occupied everywhere and therefore uninteresting for detection).
+inline constexpr std::array<int, 7> kEvaluationChannels{15, 17, 21, 22,
+                                                        30, 46, 47};
+
+/// Channels that remain evaluable after the +7.5 dB antenna correction
+/// factor (21, 30 and 46 become entirely not-safe; paper Section 4.3).
+inline constexpr std::array<int, 4> kCorrectedEvaluationChannels{15, 17, 22,
+                                                                 47};
+
+}  // namespace waldo::rf

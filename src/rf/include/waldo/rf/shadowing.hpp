@@ -1,0 +1,81 @@
+// Spatially correlated log-normal shadow fading and discrete obstruction
+// "pockets". Together these give the ground-truth coverage the terrain
+// texture that generic propagation models miss (Figure 1 of the paper):
+// holes inside nominal contours and spill-over beyond them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "waldo/geo/latlon.hpp"
+
+namespace waldo::rf {
+
+/// Gaussian random field with (separable) exponential autocorrelation,
+/// the Gudmundson model R(d) = sigma^2 * e^{-d/d_c}. Generated once on a
+/// grid by two AR(1) filtering passes (rows then columns), then bilinearly
+/// interpolated; the resulting correlation is exponential in the L1 metric,
+/// an accepted approximation of the isotropic model at these scales.
+class ShadowingField {
+ public:
+  ShadowingField(const geo::BoundingBox& region, double cell_m,
+                 double sigma_db, double decorrelation_m, std::uint64_t seed);
+
+  /// Shadowing value in dB (zero-mean, std `sigma_db`) at a point. Points
+  /// outside the construction region clamp to the nearest edge cell.
+  [[nodiscard]] double sample_db(const geo::EnuPoint& p) const noexcept;
+
+  [[nodiscard]] double sigma_db() const noexcept { return sigma_db_; }
+  [[nodiscard]] double decorrelation_m() const noexcept {
+    return decorrelation_m_;
+  }
+
+ private:
+  geo::BoundingBox region_;
+  double cell_m_;
+  double sigma_db_;
+  double decorrelation_m_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<double> grid_;  // ny_ rows of nx_ values, in dB
+
+  [[nodiscard]] double at(std::size_t ix, std::size_t iy) const noexcept {
+    return grid_[iy * nx_ + ix];
+  }
+};
+
+/// A circular obstruction (terrain mass, dense construction) that removes
+/// `attenuation_db` from any path whose receiver lies inside it, with a
+/// cosine taper over the outer `taper_m` so coverage edges stay smooth.
+struct Obstacle {
+  geo::EnuPoint center;
+  double radius_m = 0.0;
+  double attenuation_db = 0.0;
+  double taper_m = 250.0;
+};
+
+class ObstacleField {
+ public:
+  ObstacleField() = default;
+  explicit ObstacleField(std::vector<Obstacle> obstacles);
+
+  /// Random field: `count` obstacles uniform over `region` with radii and
+  /// attenuations uniform in the given ranges.
+  static ObstacleField random(const geo::BoundingBox& region,
+                              std::size_t count, double min_radius_m,
+                              double max_radius_m, double min_atten_db,
+                              double max_atten_db, std::uint64_t seed);
+
+  /// Total extra attenuation in dB for a receiver at `p` (sums overlapping
+  /// obstacles).
+  [[nodiscard]] double attenuation_db(const geo::EnuPoint& p) const noexcept;
+
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const noexcept {
+    return obstacles_;
+  }
+
+ private:
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace waldo::rf

@@ -1,0 +1,44 @@
+// Power-unit helpers. All RF powers in this library are carried in dBm and
+// converted to linear milliwatts only when powers must be summed.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace waldo::rf {
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(mw);
+}
+
+[[nodiscard]] inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+[[nodiscard]] inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Power sum of incoherent signals given in dBm.
+[[nodiscard]] inline double combine_dbm(std::span<const double> dbm) noexcept {
+  double mw = 0.0;
+  for (const double p : dbm) mw += dbm_to_mw(p);
+  return mw_to_dbm(mw);
+}
+
+/// Power sum of two incoherent signals in dBm.
+[[nodiscard]] inline double add_dbm(double a, double b) noexcept {
+  return mw_to_dbm(dbm_to_mw(a) + dbm_to_mw(b));
+}
+
+/// Thermal noise power in dBm for a bandwidth in Hz at 290 K:
+/// -174 dBm/Hz + 10 log10(BW).
+[[nodiscard]] inline double thermal_noise_dbm(double bandwidth_hz) noexcept {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz);
+}
+
+}  // namespace waldo::rf

@@ -1,0 +1,75 @@
+#include "waldo/rf/path_loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace waldo::rf {
+
+namespace {
+constexpr double kMinDistanceM = 10.0;  // below this all models saturate
+[[nodiscard]] double log10_clamped(double v) {
+  return std::log10(std::max(v, 1e-12));
+}
+}  // namespace
+
+FreeSpaceModel::FreeSpaceModel(double frequency_hz) noexcept
+    : freq_mhz_(frequency_hz / 1e6) {}
+
+double FreeSpaceModel::path_loss_db(double distance_m) const {
+  const double d_km = std::max(distance_m, kMinDistanceM) / 1000.0;
+  return 32.45 + 20.0 * log10_clamped(d_km) + 20.0 * log10_clamped(freq_mhz_);
+}
+
+HataUrbanModel::HataUrbanModel(double frequency_hz, double tx_height_m,
+                               double rx_height_m) noexcept
+    : freq_mhz_(std::clamp(frequency_hz / 1e6, 150.0, 1500.0)),
+      tx_height_m_(std::clamp(tx_height_m, 30.0, 200.0)),
+      rx_height_m_(std::clamp(rx_height_m, 1.0, 10.0)) {}
+
+double HataUrbanModel::antenna_correction_db(double rx_height_m) {
+  const double t = log10_clamped(11.5 * rx_height_m);
+  return 3.2 * t * t - 4.97;
+}
+
+double HataUrbanModel::path_loss_db(double distance_m) const {
+  const double d_km = std::max(distance_m, kMinDistanceM) / 1000.0;
+  const double lf = log10_clamped(freq_mhz_);
+  const double lhb = log10_clamped(tx_height_m_);
+  return 69.55 + 26.16 * lf - 13.82 * lhb - antenna_correction_db(rx_height_m_) +
+         (44.9 - 6.55 * lhb) * log10_clamped(d_km);
+}
+
+EgliModel::EgliModel(double frequency_hz, double tx_height_m,
+                     double rx_height_m) noexcept
+    : freq_mhz_(frequency_hz / 1e6),
+      tx_height_m_(tx_height_m),
+      rx_height_m_(rx_height_m) {}
+
+double EgliModel::path_loss_db(double distance_m) const {
+  const double d_km = std::max(distance_m, kMinDistanceM) / 1000.0;
+  // Egli 1957 median loss with the h_m < 10 m mobile-height term.
+  return 88.0 + 40.0 * log10_clamped(d_km) + 20.0 * log10_clamped(freq_mhz_ / 100.0) -
+         20.0 * log10_clamped(tx_height_m_) - 10.0 * log10_clamped(rx_height_m_);
+}
+
+LogDistanceModel::LogDistanceModel(double ref_loss_db, double ref_distance_m,
+                                   double exponent) noexcept
+    : ref_loss_db_(ref_loss_db),
+      ref_distance_m_(std::max(ref_distance_m, 1.0)),
+      exponent_(exponent) {}
+
+double LogDistanceModel::path_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  return ref_loss_db_ + 10.0 * exponent_ * log10_clamped(d / ref_distance_m_);
+}
+
+FccCurvesModel::FccCurvesModel(double frequency_hz, double tx_height_m,
+                               double clutter_underprediction_db) noexcept
+    : hata_(frequency_hz, tx_height_m, /*rx_height_m=*/10.0),
+      clutter_underprediction_db_(clutter_underprediction_db) {}
+
+double FccCurvesModel::path_loss_db(double distance_m) const {
+  return hata_.path_loss_db(distance_m) - clutter_underprediction_db_;
+}
+
+}  // namespace waldo::rf

@@ -1,0 +1,112 @@
+#include "waldo/rf/shadowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+namespace waldo::rf {
+
+ShadowingField::ShadowingField(const geo::BoundingBox& region, double cell_m,
+                               double sigma_db, double decorrelation_m,
+                               std::uint64_t seed)
+    : region_(region),
+      cell_m_(cell_m),
+      sigma_db_(sigma_db),
+      decorrelation_m_(decorrelation_m) {
+  if (cell_m <= 0.0 || decorrelation_m <= 0.0) {
+    throw std::invalid_argument("shadowing scales must be positive");
+  }
+  if (region.width_m() <= 0.0 || region.height_m() <= 0.0) {
+    throw std::invalid_argument("shadowing region must have positive area");
+  }
+  nx_ = static_cast<std::size_t>(region.width_m() / cell_m) + 2;
+  ny_ = static_cast<std::size_t>(region.height_m() / cell_m) + 2;
+  grid_.assign(nx_ * ny_, 0.0);
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Lag-1 correlation of the Gudmundson model sampled at cell pitch.
+  const double rho = std::exp(-cell_m_ / decorrelation_m_);
+  const double innov = std::sqrt(1.0 - rho * rho);
+
+  // Pass 1: AR(1) along each row (independent rows).
+  for (std::size_t iy = 0; iy < ny_; ++iy) {
+    grid_[iy * nx_] = gauss(rng);
+    for (std::size_t ix = 1; ix < nx_; ++ix) {
+      grid_[iy * nx_ + ix] =
+          rho * grid_[iy * nx_ + ix - 1] + innov * gauss(rng);
+    }
+  }
+  // Pass 2: AR(1) along each column over the row-filtered field; the result
+  // is a unit-variance field with separable exponential correlation.
+  for (std::size_t ix = 0; ix < nx_; ++ix) {
+    for (std::size_t iy = 1; iy < ny_; ++iy) {
+      grid_[iy * nx_ + ix] =
+          rho * grid_[(iy - 1) * nx_ + ix] + innov * grid_[iy * nx_ + ix];
+    }
+  }
+  for (double& v : grid_) v *= sigma_db_;
+}
+
+double ShadowingField::sample_db(const geo::EnuPoint& p) const noexcept {
+  const double fx = std::clamp((p.east_m - region_.min_east_m) / cell_m_, 0.0,
+                               static_cast<double>(nx_ - 1) - 1e-9);
+  const double fy = std::clamp((p.north_m - region_.min_north_m) / cell_m_,
+                               0.0, static_cast<double>(ny_ - 1) - 1e-9);
+  const auto ix = static_cast<std::size_t>(fx);
+  const auto iy = static_cast<std::size_t>(fy);
+  const double tx = fx - static_cast<double>(ix);
+  const double ty = fy - static_cast<double>(iy);
+  const double v00 = at(ix, iy);
+  const double v10 = at(std::min(ix + 1, nx_ - 1), iy);
+  const double v01 = at(ix, std::min(iy + 1, ny_ - 1));
+  const double v11 = at(std::min(ix + 1, nx_ - 1), std::min(iy + 1, ny_ - 1));
+  const double a = v00 + tx * (v10 - v00);
+  const double b = v01 + tx * (v11 - v01);
+  return a + ty * (b - a);
+}
+
+ObstacleField::ObstacleField(std::vector<Obstacle> obstacles)
+    : obstacles_(std::move(obstacles)) {}
+
+ObstacleField ObstacleField::random(const geo::BoundingBox& region,
+                                    std::size_t count, double min_radius_m,
+                                    double max_radius_m, double min_atten_db,
+                                    double max_atten_db, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ue(region.min_east_m,
+                                            region.max_east_m);
+  std::uniform_real_distribution<double> un(region.min_north_m,
+                                            region.max_north_m);
+  std::uniform_real_distribution<double> ur(min_radius_m, max_radius_m);
+  std::uniform_real_distribution<double> ua(min_atten_db, max_atten_db);
+  std::vector<Obstacle> obs;
+  obs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    obs.push_back(Obstacle{.center = geo::EnuPoint{ue(rng), un(rng)},
+                           .radius_m = ur(rng),
+                           .attenuation_db = ua(rng)});
+  }
+  return ObstacleField(std::move(obs));
+}
+
+double ObstacleField::attenuation_db(const geo::EnuPoint& p) const noexcept {
+  double total = 0.0;
+  for (const Obstacle& o : obstacles_) {
+    const double d = geo::distance_m(p, o.center);
+    if (d <= o.radius_m) {
+      total += o.attenuation_db;
+    } else if (d < o.radius_m + o.taper_m) {
+      const double t = (d - o.radius_m) / o.taper_m;  // 0..1 across taper
+      total += o.attenuation_db * 0.5 *
+               (1.0 + std::cos(std::numbers::pi * t));
+    }
+  }
+  return total;
+}
+
+}  // namespace waldo::rf

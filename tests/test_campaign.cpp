@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "waldo/campaign/dataset_io.hpp"
+#include "waldo/campaign/labeling.hpp"
+#include "waldo/campaign/measurement.hpp"
+#include "waldo/campaign/truth.hpp"
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/ml/metrics.hpp"
+#include "waldo/rf/environment.hpp"
+#include "waldo/sensors/sensor.hpp"
+
+namespace waldo::campaign {
+namespace {
+
+TEST(Labeling, StrongReadingPoisonsItsNeighbourhood) {
+  // Four readings on a line, 4 km apart; the first is hot.
+  const std::vector<geo::EnuPoint> pos{
+      {0.0, 0.0}, {4000.0, 0.0}, {8000.0, 0.0}, {12'000.0, 0.0}};
+  const std::vector<double> rss{-70.0, -100.0, -100.0, -100.0};
+  const auto labels = label_readings(pos, rss);
+  EXPECT_EQ(labels[0], ml::kNotSafe);  // hot itself
+  EXPECT_EQ(labels[1], ml::kNotSafe);  // within 6 km of the hot reading
+  EXPECT_EQ(labels[2], ml::kSafe);     // 8 km away
+  EXPECT_EQ(labels[3], ml::kSafe);
+}
+
+TEST(Labeling, ThresholdIsExclusive) {
+  const std::vector<geo::EnuPoint> pos{{0.0, 0.0}};
+  EXPECT_EQ(label_readings(pos, std::vector<double>{-84.0})[0], ml::kSafe);
+  EXPECT_EQ(label_readings(pos, std::vector<double>{-83.9})[0],
+            ml::kNotSafe);
+}
+
+TEST(Labeling, CorrectionFactorShiftsDecisions) {
+  const std::vector<geo::EnuPoint> pos{{0.0, 0.0}};
+  const std::vector<double> rss{-90.0};
+  LabelingConfig cfg;
+  EXPECT_EQ(label_readings(pos, rss, cfg)[0], ml::kSafe);
+  cfg.correction_db = 7.5;
+  EXPECT_EQ(label_readings(pos, rss, cfg)[0], ml::kNotSafe);
+}
+
+TEST(Labeling, MoreConservativeThresholdNeverAddsSafeLabels) {
+  // Property: lowering the threshold can only convert safe -> not safe.
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> coord(0.0, 20'000.0);
+  std::uniform_real_distribution<double> power(-110.0, -70.0);
+  std::vector<geo::EnuPoint> pos(300);
+  std::vector<double> rss(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    pos[i] = geo::EnuPoint{coord(rng), coord(rng)};
+    rss[i] = power(rng);
+  }
+  LabelingConfig strict;
+  strict.threshold_dbm = -95.0;
+  const auto lax_labels = label_readings(pos, rss);
+  const auto strict_labels = label_readings(pos, rss, strict);
+  for (std::size_t i = 0; i < 300; ++i) {
+    if (lax_labels[i] == ml::kNotSafe) {
+      EXPECT_EQ(strict_labels[i], ml::kNotSafe);
+    }
+  }
+}
+
+TEST(Labeling, LargerSeparationNeverAddsSafeLabels) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> coord(0.0, 20'000.0);
+  std::uniform_real_distribution<double> power(-100.0, -75.0);
+  std::vector<geo::EnuPoint> pos(200);
+  std::vector<double> rss(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    pos[i] = geo::EnuPoint{coord(rng), coord(rng)};
+    rss[i] = power(rng);
+  }
+  LabelingConfig wide;
+  wide.separation_m = 10'000.0;
+  const auto base = label_readings(pos, rss);
+  const auto wider = label_readings(pos, rss, wide);
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (base[i] == ml::kNotSafe) {
+      EXPECT_EQ(wider[i], ml::kNotSafe);
+    }
+  }
+}
+
+TEST(Labeling, SizeMismatchThrows) {
+  EXPECT_THROW(label_readings(std::vector<geo::EnuPoint>{{0, 0}},
+                              std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Labeling, SafeFraction) {
+  EXPECT_DOUBLE_EQ(safe_fraction(std::vector<int>{}), 0.0);
+  const std::vector<int> labels{ml::kSafe, ml::kSafe, ml::kNotSafe,
+                                ml::kSafe};
+  EXPECT_DOUBLE_EQ(safe_fraction(labels), 0.75);
+}
+
+class CampaignFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new rf::Environment(rf::make_metro_environment());
+    route_ = new geo::DrivePath(standard_route(*env_, 800, 5));
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    delete route_;
+    env_ = nullptr;
+    route_ = nullptr;
+  }
+  static rf::Environment* env_;
+  static geo::DrivePath* route_;
+};
+
+rf::Environment* CampaignFixture::env_ = nullptr;
+geo::DrivePath* CampaignFixture::route_ = nullptr;
+
+TEST_F(CampaignFixture, CollectChannelProducesOneReadingPerRoutePoint) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 3);
+  rtl.calibrate();
+  const ChannelDataset ds = collect_channel(*env_, rtl, 30, route_->readings);
+  EXPECT_EQ(ds.size(), route_->readings.size());
+  EXPECT_EQ(ds.channel, 30);
+  EXPECT_EQ(ds.sensor_name, "RTL-SDR");
+  for (const Measurement& m : ds.readings) {
+    EXPECT_TRUE(std::isfinite(m.rss_dbm));
+    EXPECT_TRUE(std::isfinite(m.cft_db));
+    EXPECT_TRUE(std::isfinite(m.aft_db));
+    EXPECT_TRUE(m.iq.empty());  // keep_iq defaults to false
+  }
+}
+
+TEST_F(CampaignFixture, KeepIqRetainsCaptures) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 4);
+  rtl.calibrate();
+  const std::vector<geo::EnuPoint> few(route_->readings.begin(),
+                                       route_->readings.begin() + 5);
+  const ChannelDataset ds =
+      collect_channel(*env_, rtl, 30, few, CollectOptions{.keep_iq = true});
+  for (const Measurement& m : ds.readings) EXPECT_EQ(m.iq.size(), 256u);
+}
+
+TEST_F(CampaignFixture, CalibratedRssTracksTruthForStrongChannel) {
+  sensors::Sensor usrp(sensors::usrp_b200_spec(), 5);
+  usrp.calibrate();
+  const ChannelDataset ds = collect_channel(*env_, usrp, 27, route_->readings);
+  double err = 0.0;
+  for (const Measurement& m : ds.readings) {
+    err += std::abs(m.rss_dbm - m.true_rss_dbm);
+  }
+  // Fully-occupied channel is far above the floor: calibrated readings
+  // track ground truth within the +0.7 dB design margin plus jitter.
+  EXPECT_LT(err / static_cast<double>(ds.size()), 2.0);
+}
+
+TEST_F(CampaignFixture, OccupiedChannelFullyNotSafe) {
+  sensors::Sensor sa(sensors::spectrum_analyzer_spec(), 6);
+  const ChannelDataset ds = collect_channel(*env_, sa, 39, route_->readings);
+  const auto labels = label_readings(ds.positions(), ds.rss_values());
+  EXPECT_DOUBLE_EQ(safe_fraction(labels), 0.0);
+}
+
+TEST_F(CampaignFixture, CsvRoundTripPreservesData) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 7);
+  rtl.calibrate();
+  const std::vector<geo::EnuPoint> few(route_->readings.begin(),
+                                       route_->readings.begin() + 20);
+  const ChannelDataset ds = collect_channel(*env_, rtl, 46, few);
+  std::stringstream ss;
+  write_csv(ss, ds);
+  const ChannelDataset back = read_csv(ss);
+  EXPECT_EQ(back.channel, 46);
+  EXPECT_EQ(back.sensor_name, "RTL-SDR");
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_NEAR(back.readings[i].position.east_m,
+                ds.readings[i].position.east_m, 1e-6);
+    EXPECT_NEAR(back.readings[i].rss_dbm, ds.readings[i].rss_dbm, 1e-6);
+    EXPECT_NEAR(back.readings[i].cft_db, ds.readings[i].cft_db, 1e-6);
+  }
+}
+
+TEST(DatasetIo, RejectsGarbage) {
+  std::stringstream ss("not a dataset\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+  std::stringstream truncated("# waldo-dataset v1 channel=30 sensor=X\n");
+  EXPECT_THROW(read_csv(truncated), std::runtime_error);
+}
+
+TEST_F(CampaignFixture, TruthLabelerMatchesOccupancy) {
+  const GroundTruthLabeler truth27(*env_, 27);
+  EXPECT_NEAR(truth27.safe_area_fraction(), 0.0, 1e-9);
+  const GroundTruthLabeler truth17(*env_, 17);
+  EXPECT_GT(truth17.safe_area_fraction(), 0.5);
+}
+
+TEST_F(CampaignFixture, TruthAgreesWithMeasuredLabels) {
+  sensors::Sensor sa(sensors::spectrum_analyzer_spec(), 8);
+  const ChannelDataset ds = collect_channel(*env_, sa, 46, route_->readings);
+  const auto measured = label_readings(ds.positions(), ds.rss_values());
+  const GroundTruthLabeler truth(*env_, 46);
+  const auto expected = truth.label_all(ds.positions());
+  const auto cm = ml::compare_labels(measured, expected);
+  // Measured Algorithm 1 labels approximate the analytic truth; deviations
+  // concentrate at the contour (sampling + sensor noise).
+  EXPECT_LT(cm.error_rate(), 0.15);
+}
+
+TEST(Truth, RejectsCoarseGrid) {
+  const rf::Environment env = rf::make_metro_environment();
+  LabelingConfig cfg;
+  EXPECT_THROW(GroundTruthLabeler(env, 30, cfg, 5000.0),
+               std::invalid_argument);
+  EXPECT_THROW(GroundTruthLabeler(env, 30, cfg, 0.0), std::invalid_argument);
+}
+
+TEST(Truth, CorrectionShrinksSafeArea) {
+  const rf::Environment env = rf::make_metro_environment();
+  LabelingConfig plain;
+  LabelingConfig corrected;
+  corrected.correction_db = 7.5;
+  const GroundTruthLabeler a(env, 46, plain, 500.0);
+  const GroundTruthLabeler b(env, 46, corrected, 500.0);
+  EXPECT_GT(a.safe_area_fraction(), b.safe_area_fraction());
+}
+
+TEST(StandardRoute, CoversTheRegion) {
+  const rf::Environment env = rf::make_metro_environment();
+  const geo::DrivePath route = standard_route(env, 2000, 11);
+  EXPECT_EQ(route.readings.size(), 2000u);
+  const geo::BoundingBox box = geo::BoundingBox::of(route.readings);
+  EXPECT_GT(box.area_km2(), 100.0);
+  for (const geo::EnuPoint& p : route.readings) {
+    EXPECT_TRUE(env.config().region.contains(p));
+  }
+}
+
+}  // namespace
+}  // namespace waldo::campaign

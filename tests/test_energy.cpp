@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "waldo/device/energy.hpp"
+
+namespace waldo::device {
+namespace {
+
+ScanReport make_report(double acquisition_s, double processing_s) {
+  ScanReport report;
+  ChannelScan scan;
+  scan.acquisition_time_s = acquisition_s;
+  scan.processing_time_s = processing_s;
+  report.channels.push_back(scan);
+  report.busy_time_s = acquisition_s + processing_s;
+  report.processing_time_s = processing_s;
+  return report;
+}
+
+TEST(Energy, ScanEnergyIsPowerTimesTime) {
+  EnergyModel model;
+  model.sdr_active_w = 2.0;
+  model.cpu_active_w = 3.0;
+  const ScanReport report = make_report(1.5, 0.5);
+  EXPECT_DOUBLE_EQ(scan_energy_j(report, model), 1.5 * 2.0 + 0.5 * 3.0);
+}
+
+TEST(Energy, EmptyScanCostsNothing) {
+  EXPECT_DOUBLE_EQ(scan_energy_j(ScanReport{}, EnergyModel{}), 0.0);
+}
+
+TEST(Energy, TransferDominatedByRadioWakeup) {
+  EnergyModel model;
+  model.radio_wakeup_j = 6.0;
+  model.radio_j_per_kb = 0.1;
+  // A small query: the wakeup dwarfs the payload.
+  const double small = transfer_energy_j(1024, model);
+  EXPECT_NEAR(small, 6.1, 1e-9);
+  // Payload scales linearly.
+  EXPECT_NEAR(transfer_energy_j(10 * 1024, model) - small, 0.9, 1e-9);
+}
+
+TEST(Energy, WaldoAmortisesTheDownload) {
+  EnergyModel model;
+  const ScanReport cycle = make_report(0.3, 0.05);
+  const double one = waldo_daily_energy_j(40'000, cycle, 1, model);
+  const double many = waldo_daily_energy_j(40'000, cycle, 1000, model);
+  // Scans scale linearly; the download is a one-off.
+  EXPECT_NEAR(many - one, 999.0 * scan_energy_j(cycle, model), 1e-6);
+}
+
+TEST(Energy, PerMinuteQueriesCostMoreThanLocalScans) {
+  // The ablation's headline, pinned as an invariant of the default model:
+  // an LTE round trip per minute costs more than a short local scan.
+  EnergyModel model;
+  const ScanReport cycle = make_report(0.4, 0.06);
+  const double waldo =
+      waldo_daily_energy_j(40'000, cycle, 24 * 60, model);
+  const double database = database_daily_energy_j(2048, 24 * 60, model);
+  EXPECT_LT(waldo, database);
+}
+
+TEST(Energy, DatabaseCostLinearInQueries) {
+  EnergyModel model;
+  EXPECT_DOUBLE_EQ(database_daily_energy_j(2048, 0, model), 0.0);
+  EXPECT_DOUBLE_EQ(database_daily_energy_j(2048, 10, model),
+                   10.0 * transfer_energy_j(2048, model));
+}
+
+}  // namespace
+}  // namespace waldo::device

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "waldo/geo/drive_path.hpp"
+#include "waldo/geo/grid_index.hpp"
+#include "waldo/geo/latlon.hpp"
+
+namespace waldo::geo {
+namespace {
+
+TEST(LatLon, HaversineKnownDistance) {
+  // Atlanta city hall to Georgia Tech: ~3.6 km.
+  const LatLon city_hall{33.7490, -84.3880};
+  const LatLon gatech{33.7756, -84.3963};
+  const double d = haversine_m(city_hall, gatech);
+  EXPECT_NEAR(d, 3060.0, 300.0);
+}
+
+TEST(LatLon, HaversineZeroAndSymmetry) {
+  const LatLon a{33.7, -84.4};
+  const LatLon b{33.9, -84.1};
+  EXPECT_DOUBLE_EQ(haversine_m(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));
+}
+
+TEST(LocalProjection, RoundTripIsAccurate) {
+  const LocalProjection proj(LatLon{33.749, -84.388});
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dlat(-0.12, 0.12);
+  std::uniform_real_distribution<double> dlon(-0.15, 0.15);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon p{33.749 + dlat(rng), -84.388 + dlon(rng)};
+    const LatLon back = proj.to_latlon(proj.to_enu(p));
+    EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-9);
+    EXPECT_NEAR(back.lon_deg, p.lon_deg, 1e-9);
+  }
+}
+
+TEST(LocalProjection, DistancesMatchHaversineAtMetroScale) {
+  const LatLon origin{33.749, -84.388};
+  const LocalProjection proj(origin);
+  const LatLon p{33.85, -84.25};
+  const double enu_d = distance_m(proj.to_enu(origin), proj.to_enu(p));
+  const double hav_d = haversine_m(origin, p);
+  EXPECT_NEAR(enu_d / hav_d, 1.0, 0.005);
+}
+
+TEST(BoundingBox, ExpandAndContains) {
+  BoundingBox box{1e18, 1e18, -1e18, -1e18};
+  box.expand(EnuPoint{0.0, 0.0});
+  box.expand(EnuPoint{100.0, 50.0});
+  EXPECT_TRUE(box.contains(EnuPoint{50.0, 25.0}));
+  EXPECT_FALSE(box.contains(EnuPoint{150.0, 25.0}));
+  EXPECT_DOUBLE_EQ(box.width_m(), 100.0);
+  EXPECT_DOUBLE_EQ(box.height_m(), 50.0);
+  EXPECT_DOUBLE_EQ(box.area_km2(), 100.0 * 50.0 / 1e6);
+}
+
+TEST(BoundingBox, OfRange) {
+  const std::vector<EnuPoint> pts{{1.0, 2.0}, {-3.0, 5.0}, {4.0, -1.0}};
+  const BoundingBox box = BoundingBox::of(pts);
+  EXPECT_DOUBLE_EQ(box.min_east_m, -3.0);
+  EXPECT_DOUBLE_EQ(box.max_east_m, 4.0);
+  EXPECT_DOUBLE_EQ(box.min_north_m, -1.0);
+  EXPECT_DOUBLE_EQ(box.max_north_m, 5.0);
+}
+
+class GridIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridIndexProperty, RadiusQueryMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coord(-5000.0, 5000.0);
+  std::vector<EnuPoint> pts(400);
+  for (auto& p : pts) p = EnuPoint{coord(rng), coord(rng)};
+  const GridIndex index(pts, 700.0);
+
+  std::uniform_real_distribution<double> radius(10.0, 4000.0);
+  for (int q = 0; q < 20; ++q) {
+    const EnuPoint center{coord(rng), coord(rng)};
+    const double r = radius(rng);
+    auto got = index.query_radius(center, r);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (distance_m(pts[i], center) <= r) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(GridIndexProperty, NearestMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  std::uniform_real_distribution<double> coord(-3000.0, 3000.0);
+  std::vector<EnuPoint> pts(150);
+  for (auto& p : pts) p = EnuPoint{coord(rng), coord(rng)};
+  const GridIndex index(pts, 400.0);
+  for (int q = 0; q < 30; ++q) {
+    const EnuPoint center{coord(rng), coord(rng)};
+    const std::size_t got = index.nearest(center);
+    std::size_t want = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (distance_m(pts[i], center) < distance_m(pts[want], center)) {
+        want = i;
+      }
+    }
+    EXPECT_DOUBLE_EQ(distance_m(pts[got], center),
+                     distance_m(pts[want], center));
+  }
+}
+
+TEST_P(GridIndexProperty, KNearestSortedAndCorrectCount) {
+  std::mt19937_64 rng(GetParam() + 2000);
+  std::uniform_real_distribution<double> coord(-2000.0, 2000.0);
+  std::vector<EnuPoint> pts(100);
+  for (auto& p : pts) p = EnuPoint{coord(rng), coord(rng)};
+  const GridIndex index(pts, 500.0);
+  const EnuPoint center{coord(rng), coord(rng)};
+  const auto got = index.k_nearest(center, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(distance_m(pts[got[i - 1]], center),
+              distance_m(pts[got[i]], center));
+  }
+  // The k-th neighbour must not be farther than any excluded point.
+  const double kth = distance_m(pts[got.back()], center);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (std::find(got.begin(), got.end(), i) == got.end()) {
+      EXPECT_GE(distance_m(pts[i], center) + 1e-9, kth);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+TEST(GridIndex, EmptyAndEdgeCases) {
+  const GridIndex empty({}, 100.0);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.query_radius(EnuPoint{0, 0}, 1000.0).empty());
+  EXPECT_TRUE(empty.k_nearest(EnuPoint{0, 0}, 5).empty());
+  EXPECT_THROW(GridIndex({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridIndex({}, -5.0), std::invalid_argument);
+
+  const GridIndex single({EnuPoint{10.0, 20.0}}, 100.0);
+  EXPECT_EQ(single.nearest(EnuPoint{1e6, 1e6}), 0u);
+  EXPECT_TRUE(single.query_radius(EnuPoint{10.0, 20.0}, 0.0).size() == 1);
+  EXPECT_TRUE(single.query_radius(EnuPoint{10.0, 21.0}, -1.0).empty());
+}
+
+TEST(DrivePath, ProducesRequestedReadings) {
+  DrivePathConfig cfg;
+  cfg.num_readings = 500;
+  cfg.seed = 7;
+  const DrivePath path = generate_drive_path(cfg);
+  EXPECT_EQ(path.readings.size(), 500u);
+  EXPECT_GT(path.total_length_m, 0.0);
+  EXPECT_GT(path.blocks_visited, 10u);
+}
+
+TEST(DrivePath, ReadingsStayInRegion) {
+  DrivePathConfig cfg;
+  cfg.num_readings = 2000;
+  cfg.seed = 9;
+  const DrivePath path = generate_drive_path(cfg);
+  for (const EnuPoint& p : path.readings) {
+    EXPECT_GE(p.east_m, -1.0);
+    EXPECT_GE(p.north_m, -1.0);
+    EXPECT_LE(p.east_m, cfg.region_side_m + 1.0);
+    EXPECT_LE(p.north_m, cfg.region_side_m + 1.0);
+  }
+}
+
+TEST(DrivePath, ConsecutiveSpacingMatchesConfig) {
+  DrivePathConfig cfg;
+  cfg.num_readings = 300;
+  cfg.reading_spacing_m = 120.0;
+  const DrivePath path = generate_drive_path(cfg);
+  // Consecutive readings are spaced along the path; straight-line distance
+  // is at most the spacing (turns shorten it) and positive.
+  for (std::size_t i = 1; i < path.readings.size(); ++i) {
+    const double d = distance_m(path.readings[i - 1], path.readings[i]);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, cfg.reading_spacing_m + 1e-6);
+  }
+}
+
+TEST(DrivePath, DeterministicPerSeed) {
+  DrivePathConfig cfg;
+  cfg.num_readings = 100;
+  cfg.seed = 11;
+  const DrivePath a = generate_drive_path(cfg);
+  const DrivePath b = generate_drive_path(cfg);
+  ASSERT_EQ(a.readings.size(), b.readings.size());
+  for (std::size_t i = 0; i < a.readings.size(); ++i) {
+    EXPECT_EQ(a.readings[i], b.readings[i]);
+  }
+  cfg.seed = 12;
+  const DrivePath c = generate_drive_path(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.readings.size(); ++i) {
+    if (!(a.readings[i] == c.readings[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DrivePath, RejectsSub20mSpacing) {
+  DrivePathConfig cfg;
+  cfg.reading_spacing_m = 15.0;  // under the decorrelation distance
+  EXPECT_THROW(generate_drive_path(cfg), std::invalid_argument);
+  cfg.reading_spacing_m = 150.0;
+  cfg.block_m = 0.0;
+  EXPECT_THROW(generate_drive_path(cfg), std::invalid_argument);
+}
+
+TEST(DrivePath, CoverageSeekingSpreadsOverTheRegion) {
+  // The walk must spread instead of looping: with enough readings the
+  // visited-blocks count approaches the driven-length upper bound.
+  DrivePathConfig cfg;
+  cfg.num_readings = 4000;
+  cfg.seed = 21;
+  const DrivePath path = generate_drive_path(cfg);
+  const double blocks_driven = path.total_length_m / cfg.block_m;
+  EXPECT_GT(static_cast<double>(path.blocks_visited), 0.5 * blocks_driven);
+  // And the readings' bounding box covers a large share of the region.
+  const BoundingBox box = BoundingBox::of(path.readings);
+  EXPECT_GT(box.area_km2(),
+            0.5 * cfg.region_side_m * cfg.region_side_m / 1e6);
+}
+
+TEST(DrivePath, LongerCampaignsVisitMoreBlocks) {
+  DrivePathConfig small;
+  small.num_readings = 500;
+  small.seed = 22;
+  DrivePathConfig large = small;
+  large.num_readings = 4000;
+  EXPECT_LT(generate_drive_path(small).blocks_visited,
+            generate_drive_path(large).blocks_visited);
+}
+
+TEST(ThinByDistance, EnforcesMinimumPairwiseDistance) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> coord(0.0, 1000.0);
+  std::vector<EnuPoint> pts(300);
+  for (auto& p : pts) p = EnuPoint{coord(rng), coord(rng)};
+  const auto kept = thin_by_distance(pts, 80.0);
+  EXPECT_LT(kept.size(), pts.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t j = i + 1; j < kept.size(); ++j) {
+      EXPECT_GE(distance_m(kept[i], kept[j]), 80.0);
+    }
+  }
+}
+
+TEST(ThinByDistance, KeepsAllWhenAlreadySparse) {
+  const std::vector<EnuPoint> pts{{0, 0}, {500, 0}, {0, 500}};
+  EXPECT_EQ(thin_by_distance(pts, 100.0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace waldo::geo

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "waldo/baselines/kriging.hpp"
+#include "waldo/campaign/labeling.hpp"
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/core/transmitter_locator.hpp"
+#include "waldo/ml/metrics.hpp"
+#include "waldo/rf/environment.hpp"
+
+namespace waldo {
+namespace {
+
+// ---------------------------------------------------------------- locator
+
+campaign::ChannelDataset synthetic_field(const geo::EnuPoint& tx,
+                                         double intercept, double exponent,
+                                         double noise_db,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 26'500.0);
+  std::normal_distribution<double> noise(0.0, noise_db);
+  campaign::ChannelDataset ds;
+  ds.channel = 30;
+  for (int i = 0; i < 1200; ++i) {
+    campaign::Measurement m;
+    m.position = geo::EnuPoint{coord(rng), coord(rng)};
+    const double d_km =
+        std::max(0.05, geo::distance_m(m.position, tx) / 1000.0);
+    m.rss_dbm = intercept - 10.0 * exponent * std::log10(d_km) + noise(rng);
+    ds.readings.push_back(m);
+  }
+  return ds;
+}
+
+TEST(TransmitterLocator, RecoversExactSyntheticSource) {
+  const geo::EnuPoint tx{-20'000.0, 13'000.0};  // outside the drive box
+  const auto ds = synthetic_field(tx, -40.0, 3.3, 0.0, 1);
+  const auto estimate = core::locate_transmitter(ds);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_LT(geo::distance_m(estimate->position, tx), 1500.0);
+  EXPECT_NEAR(estimate->path_loss_exponent, 3.3, 0.15);
+  EXPECT_NEAR(estimate->intercept_dbm, -40.0, 2.0);
+  EXPECT_LT(estimate->rmse_db, 0.5);
+}
+
+TEST(TransmitterLocator, ToleratesMeasurementNoise) {
+  const geo::EnuPoint tx{35'000.0, 5000.0};
+  const auto ds = synthetic_field(tx, -42.0, 3.0, 2.0, 2);
+  const auto estimate = core::locate_transmitter(ds);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_LT(geo::distance_m(estimate->position, tx), 6000.0);
+  // Noise flattens the joint position/slope fit; the exponent estimate is
+  // biased low but must stay physically plausible.
+  EXPECT_GT(estimate->path_loss_exponent, 1.2);
+  EXPECT_LT(estimate->path_loss_exponent, 4.5);
+}
+
+TEST(TransmitterLocator, RefusesDarkChannel) {
+  campaign::ChannelDataset ds;
+  ds.channel = 20;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> coord(0.0, 10'000.0);
+  for (int i = 0; i < 500; ++i) {
+    campaign::Measurement m;
+    m.position = geo::EnuPoint{coord(rng), coord(rng)};
+    m.rss_dbm = -95.0;  // everything at the floor
+    ds.readings.push_back(m);
+  }
+  EXPECT_FALSE(core::locate_transmitter(ds).has_value());
+}
+
+TEST(TransmitterLocator, FindsTheMetroEnvironmentTower) {
+  // End-to-end (Section 6 monitoring application): locate channel 46's
+  // tower from an analyzer campaign. Deep-dynamic-range readings are the
+  // point — the analyzer sees the RSS gradient across the whole region,
+  // while a low-cost sensor's floor saturates all but a narrow strip,
+  // leaving the range unidentifiable.
+  const rf::Environment env = rf::make_metro_environment();
+  const geo::DrivePath route = campaign::standard_route(env, 3000, 81);
+  sensors::Sensor analyzer(sensors::spectrum_analyzer_spec(), 82);
+  const auto ds = campaign::collect_channel(env, analyzer, 46,
+                                            route.readings);
+  core::LocatorConfig cfg;
+  cfg.min_rss_dbm = -105.0;  // analyzer floor is far below this
+  const auto estimate = core::locate_transmitter(ds, cfg);
+  ASSERT_TRUE(estimate.has_value());
+  const geo::EnuPoint truth = env.transmitters_on(46).front()->location;
+  // Shadowing, obstruction pockets and the one-sided geometry (all
+  // readings south of the tower) bound the achievable precision; the
+  // estimate must land in the tower's neighbourhood and clearly beat the
+  // naive centroid-of-strong-readings guess.
+  const double error_m = geo::distance_m(estimate->position, truth);
+  EXPECT_LT(error_m, 12'000.0);
+  geo::EnuPoint centroid{0.0, 0.0};
+  std::size_t strong = 0;
+  for (const campaign::Measurement& m : ds.readings) {
+    if (m.rss_dbm < -105.0) continue;
+    centroid.east_m += m.position.east_m;
+    centroid.north_m += m.position.north_m;
+    ++strong;
+  }
+  centroid.east_m /= static_cast<double>(strong);
+  centroid.north_m /= static_cast<double>(strong);
+  EXPECT_LT(error_m, geo::distance_m(centroid, truth));
+  EXPECT_GT(estimate->path_loss_exponent, 1.5);
+  EXPECT_LT(estimate->path_loss_exponent, 6.0);
+  EXPECT_GT(estimate->readings_used, 1000u);
+}
+
+// ---------------------------------------------------------------- kriging
+
+TEST(LinearSolver, SolvesKnownSystems) {
+  // 2x2: x = 2, y = 3.
+  std::vector<double> a{1.0, 1.0, 1.0, -1.0};
+  std::vector<double> b{5.0, -1.0};
+  ASSERT_TRUE(baselines::solve_linear_system(a, b, 2));
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+  // Singular system is reported, not crashed on.
+  std::vector<double> s{1.0, 2.0, 2.0, 4.0};
+  std::vector<double> sb{1.0, 2.0};
+  EXPECT_FALSE(baselines::solve_linear_system(s, sb, 2));
+  std::vector<double> bad(3, 0.0);
+  EXPECT_THROW((void)baselines::solve_linear_system(bad, sb, 2),
+               std::invalid_argument);
+}
+
+TEST(Variogram, ShapeAndFit) {
+  const baselines::Variogram v{.nugget = 0.5, .sill = 4.0, .range_m = 800.0};
+  EXPECT_DOUBLE_EQ(v(0.0), 0.0);
+  EXPECT_GT(v(100.0), 0.5);               // nugget jump
+  EXPECT_LT(v(100.0), v(1000.0));         // monotone
+  EXPECT_NEAR(v(1e9), 4.5, 1e-6);         // sill + nugget asymptote
+
+  // Fit recovers a synthetic exponential-correlated field's scales.
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> coord(0.0, 8000.0);
+  std::vector<geo::EnuPoint> pos(900);
+  std::vector<double> val(900);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    pos[i] = geo::EnuPoint{coord(rng), coord(rng)};
+    // Smooth deterministic field + small noise: variance grows with lag.
+    std::normal_distribution<double> noise(0.0, 0.3);
+    val[i] = 5.0 * std::sin(pos[i].east_m / 2000.0) +
+             5.0 * std::cos(pos[i].north_m / 2000.0) + noise(rng);
+  }
+  const baselines::Variogram fitted = baselines::fit_variogram(pos, val);
+  EXPECT_GT(fitted.sill, 1.0);  // real spatial structure found
+  EXPECT_GT(fitted.range_m, 200.0);
+  EXPECT_THROW(
+      (void)baselines::fit_variogram(
+          std::vector<geo::EnuPoint>(3), std::vector<double>(3)),
+      std::invalid_argument);
+}
+
+TEST(Kriging, ExactInterpolatorAtSamples) {
+  // Kriging honours the data: predicting at a sample returns its value.
+  campaign::ChannelDataset ds;
+  ds.channel = 30;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> coord(0.0, 5000.0);
+  for (int i = 0; i < 200; ++i) {
+    campaign::Measurement m;
+    m.position = geo::EnuPoint{coord(rng), coord(rng)};
+    m.rss_dbm = -80.0 - m.position.east_m / 500.0;
+    ds.readings.push_back(m);
+  }
+  baselines::KrigingDatabase kriging;
+  kriging.fit(ds);
+  for (int i = 0; i < 200; i += 37) {
+    EXPECT_NEAR(kriging.predict_rss_dbm(ds.readings[i].position),
+                ds.readings[i].rss_dbm, 0.8);
+  }
+  // Interpolation between samples tracks the linear trend.
+  EXPECT_NEAR(kriging.predict_rss_dbm(geo::EnuPoint{2500.0, 2500.0}),
+              -85.0, 1.5);
+}
+
+TEST(Kriging, VarianceGrowsAwayFromData) {
+  campaign::ChannelDataset ds;
+  ds.channel = 30;
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> coord(0.0, 3000.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (int i = 0; i < 150; ++i) {
+    campaign::Measurement m;
+    m.position = geo::EnuPoint{coord(rng), coord(rng)};
+    m.rss_dbm = -90.0 + noise(rng);
+    ds.readings.push_back(m);
+  }
+  baselines::KrigingDatabase kriging;
+  kriging.fit(ds);
+  const auto near = kriging.predict(geo::EnuPoint{1500.0, 1500.0});
+  const auto far = kriging.predict(geo::EnuPoint{60'000.0, 60'000.0});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(Kriging, ClassifyMatchesLabelsOnCampaignData) {
+  const rf::Environment env = rf::make_metro_environment();
+  const geo::DrivePath route = campaign::standard_route(env, 1500, 83);
+  sensors::Sensor sa(sensors::spectrum_analyzer_spec(), 84);
+  const auto ds = campaign::collect_channel(env, sa, 46, route.readings);
+  const auto labels =
+      campaign::label_readings(ds.positions(), ds.rss_values());
+  baselines::KrigingDatabase kriging;
+  kriging.fit(ds);
+  ml::ConfusionMatrix cm;
+  for (std::size_t i = 0; i < ds.size(); i += 3) {
+    cm.add(kriging.classify(ds.readings[i].position), labels[i]);
+  }
+  // In-sample agreement should be strong (kriging interpolates the very
+  // field the labels derive from).
+  EXPECT_LT(cm.error_rate(), 0.1);
+}
+
+TEST(Kriging, ErrorsOnMisuse) {
+  baselines::KrigingDatabase kriging;
+  EXPECT_THROW((void)kriging.predict(geo::EnuPoint{0.0, 0.0}),
+               std::logic_error);
+  campaign::ChannelDataset tiny;
+  tiny.channel = 30;
+  tiny.readings.resize(3);
+  EXPECT_THROW(kriging.fit(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace waldo

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/core/features.hpp"
+#include "waldo/core/protocol.hpp"
+#include "waldo/ml/metrics.hpp"
+#include "waldo/rf/environment.hpp"
+
+namespace waldo::core {
+namespace {
+
+TEST(ProtocolWire, ModelRequestRoundTrip) {
+  const ModelRequest request{.channel = 46,
+                             .location = geo::EnuPoint{1234.5, -678.9}};
+  const Message decoded = decode(encode(request));
+  const auto* r = std::get_if<ModelRequest>(&decoded);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->channel, 46);
+  EXPECT_DOUBLE_EQ(r->location.east_m, 1234.5);
+  EXPECT_DOUBLE_EQ(r->location.north_m, -678.9);
+}
+
+TEST(ProtocolWire, UploadRequestRoundTrip) {
+  UploadRequest request;
+  request.channel = 30;
+  request.contributor = "alice";
+  for (int i = 0; i < 3; ++i) {
+    campaign::Measurement m;
+    m.position = geo::EnuPoint{100.0 * i, 200.0 * i};
+    m.rss_dbm = -90.0 - i;
+    m.cft_db = -100.0 - i;
+    m.aft_db = -105.0 - i;
+    request.readings.push_back(m);
+  }
+  const Message decoded = decode(encode(request));
+  const auto* r = std::get_if<UploadRequest>(&decoded);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->contributor, "alice");
+  ASSERT_EQ(r->readings.size(), 3u);
+  EXPECT_DOUBLE_EQ(r->readings[2].rss_dbm, -92.0);
+  EXPECT_DOUBLE_EQ(r->readings[1].position.north_m, 200.0);
+}
+
+TEST(ProtocolWire, ResponsesRoundTrip) {
+  const UploadResponse up{.accepted = 5, .rejected = 2, .pending = 1};
+  const Message up_decoded = decode(encode(up));
+  const auto* u = std::get_if<UploadResponse>(&up_decoded);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->accepted, 5u);
+  EXPECT_EQ(u->pending, 1u);
+
+  const ErrorResponse err{.reason = "channel unavailable"};
+  const Message decoded = decode(encode(err));
+  const auto* e = std::get_if<ErrorResponse>(&decoded);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->reason, "channel unavailable");
+}
+
+TEST(ProtocolWire, RejectsMalformedInput) {
+  EXPECT_THROW((void)decode("no header"), std::runtime_error);
+  EXPECT_THROW((void)decode("HTTP/1.1 model_request 4\nabcd"),
+               std::runtime_error);
+  EXPECT_THROW((void)decode("WSNP/1 model_request 99\nshort"),
+               std::runtime_error);
+  EXPECT_THROW((void)decode("WSNP/1 bogus_type 0\n"), std::runtime_error);
+  UploadRequest spaced;
+  spaced.channel = 30;
+  spaced.contributor = "two words";
+  EXPECT_THROW((void)encode(spaced), std::invalid_argument);
+}
+
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new rf::Environment(rf::make_metro_environment());
+    const geo::DrivePath route = campaign::standard_route(*env_, 1200, 71);
+    ModelConstructorConfig mc;
+    mc.classifier = "naive_bayes";
+    mc.num_features = 2;
+    db_ = new SpectrumDatabase(mc);
+    sensors::Sensor usrp(sensors::usrp_b200_spec(), 72);
+    usrp.calibrate();
+    db_->ingest_campaign(
+        campaign::collect_channel(*env_, usrp, 46, route.readings));
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    delete db_;
+    env_ = nullptr;
+    db_ = nullptr;
+  }
+  static rf::Environment* env_;
+  static SpectrumDatabase* db_;
+};
+
+rf::Environment* ProtocolFixture::env_ = nullptr;
+SpectrumDatabase* ProtocolFixture::db_ = nullptr;
+
+TEST_F(ProtocolFixture, ClientFetchesWorkingModelThroughServer) {
+  ProtocolServer server(*db_);
+  ProtocolClient client(
+      [&server](const std::string& wire) { return server.handle(wire); });
+
+  const WhiteSpaceModel model =
+      client.fetch_model(46, geo::EnuPoint{5000.0, 5000.0});
+  EXPECT_EQ(model.channel(), 46);
+  // The transported model is usable.
+  const auto row = feature_row(geo::EnuPoint{5000.0, 5000.0}, -86.0, -97.0,
+                               -99.0, model.num_features());
+  const int decision = model.predict(row);
+  EXPECT_TRUE(decision == ml::kSafe || decision == ml::kNotSafe);
+  EXPECT_EQ(db_->stats().model_downloads, 1u);
+}
+
+TEST_F(ProtocolFixture, UnknownChannelYieldsProtocolError) {
+  ProtocolServer server(*db_);
+  ProtocolClient client(
+      [&server](const std::string& wire) { return server.handle(wire); });
+  EXPECT_THROW((void)client.fetch_model(33, geo::EnuPoint{0.0, 0.0}),
+               std::runtime_error);
+}
+
+TEST_F(ProtocolFixture, UploadsFlowThroughTheProtocol) {
+  ProtocolServer server(*db_);
+  ProtocolClient client(
+      [&server](const std::string& wire) { return server.handle(wire); });
+
+  std::vector<campaign::Measurement> readings(
+      db_->dataset(46).readings.begin(),
+      db_->dataset(46).readings.begin() + 10);
+  for (auto& m : readings) m.position.east_m += 30.0;
+  const UploadResponse response = client.upload(46, "bob", readings);
+  EXPECT_EQ(response.accepted + response.rejected + response.pending, 10u);
+  EXPECT_GT(response.accepted, 0u);
+}
+
+TEST_F(ProtocolFixture, ServerSurvivesGarbageAndWrongMessages) {
+  ProtocolServer server(*db_);
+  // Garbage in, error message out — never an exception.
+  const Message reply = decode(server.handle("complete garbage"));
+  EXPECT_NE(std::get_if<ErrorResponse>(&reply), nullptr);
+  // A response message sent as a request is answered with an error too.
+  const Message reply2 =
+      decode(server.handle(encode(UploadResponse{.accepted = 1})));
+  EXPECT_NE(std::get_if<ErrorResponse>(&reply2), nullptr);
+}
+
+}  // namespace
+}  // namespace waldo::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/core/protocol.hpp"
+#include "waldo/core/security.hpp"
+#include "waldo/ml/metrics.hpp"
+#include "waldo/rf/environment.hpp"
+
+namespace waldo::core {
+namespace {
+
+class SecurityFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new rf::Environment(rf::make_metro_environment());
+    route_ = new geo::DrivePath(campaign::standard_route(*env_, 2500, 61));
+    sensors::Sensor usrp(sensors::usrp_b200_spec(), 62);
+    usrp.calibrate();
+    data_ = new campaign::ChannelDataset(
+        campaign::collect_channel(*env_, usrp, 46, route_->readings));
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    delete route_;
+    delete data_;
+    env_ = nullptr;
+    route_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static SpectrumDatabase make_db() {
+    ModelConstructorConfig mc;
+    mc.classifier = "naive_bayes";
+    mc.num_features = 2;
+    SpectrumDatabase db(mc);
+    db.ingest_campaign(*data_);
+    return db;
+  }
+
+  /// A forged-occupancy batch inside the campaign's covered area.
+  static std::vector<campaign::Measurement> covered_area_forgery(
+      std::uint64_t seed) {
+    AttackConfig attack;
+    attack.type = AttackType::kFalseOccupancy;
+    // Centre of the drive area: densely covered by trusted readings.
+    attack.target_area = geo::BoundingBox{12'000.0, 12'000.0, 15'000.0,
+                                          15'000.0};
+    attack.forged_rss_dbm = -60.0;
+    attack.num_reports = 40;
+    attack.seed = seed;
+    return forge_uploads(attack);
+  }
+
+  static rf::Environment* env_;
+  static geo::DrivePath* route_;
+  static campaign::ChannelDataset* data_;
+};
+
+rf::Environment* SecurityFixture::env_ = nullptr;
+geo::DrivePath* SecurityFixture::route_ = nullptr;
+campaign::ChannelDataset* SecurityFixture::data_ = nullptr;
+
+TEST(ForgeUploads, GeneratesPlausibleBatchInTargetArea) {
+  AttackConfig cfg;
+  cfg.target_area = geo::BoundingBox{0.0, 0.0, 1000.0, 1000.0};
+  cfg.forged_rss_dbm = -75.0;
+  cfg.num_reports = 30;
+  const auto batch = forge_uploads(cfg);
+  ASSERT_EQ(batch.size(), 30u);
+  for (const campaign::Measurement& m : batch) {
+    EXPECT_TRUE(cfg.target_area.contains(m.position));
+    EXPECT_NEAR(m.rss_dbm, -75.0, 3.0);
+    // Forged spectral features are internally consistent with the claim.
+    EXPECT_LT(m.cft_db, m.rss_dbm);
+  }
+  cfg.target_area = geo::BoundingBox{0.0, 0.0, 0.0, 1000.0};
+  EXPECT_THROW(forge_uploads(cfg), std::invalid_argument);
+}
+
+TEST_F(SecurityFixture, CorrelationCheckRejectsCoveredAreaForgery) {
+  SpectrumDatabase db = make_db();
+  const auto result =
+      db.upload_measurements(46, covered_area_forgery(1), "mallory");
+  // The campaign saw near-floor power there; a -60 dBm claim is implausible
+  // wherever trusted readings can vouch, and unvouched spots are only held
+  // pending — nothing reaches the model either way.
+  EXPECT_EQ(result.accepted, 0u);
+  EXPECT_GT(result.rejected, 10u);
+  EXPECT_EQ(result.rejected + result.pending, 40u);
+}
+
+TEST_F(SecurityFixture, ReputationQuarantinesRepeatOffender) {
+  SpectrumDatabase db = make_db();
+  SecureUpdater updater;
+  bool quarantined = false;
+  for (std::uint64_t wave = 0; wave < 5 && !quarantined; ++wave) {
+    (void)updater.submit(db, 46, "mallory", covered_area_forgery(wave));
+    quarantined = updater.is_quarantined("mallory");
+  }
+  EXPECT_TRUE(quarantined);
+  // Once quarantined, batches are dropped without touching the database.
+  const std::size_t before = db.stats().uploads_rejected;
+  const auto result =
+      updater.submit(db, 46, "mallory", covered_area_forgery(99));
+  EXPECT_TRUE(result.quarantined);
+  EXPECT_EQ(db.stats().uploads_rejected, before);
+}
+
+TEST_F(SecurityFixture, HonestContributorGainsReputation) {
+  SpectrumDatabase db = make_db();
+  SecureUpdater updater;
+  // Honest uploads: real readings displaced slightly off the drive path.
+  std::vector<campaign::Measurement> honest(data_->readings.begin(),
+                                            data_->readings.begin() + 80);
+  for (auto& m : honest) m.position.north_m += 40.0;
+  const auto result = updater.submit(db, 46, "alice", honest);
+  EXPECT_GT(result.accepted, 70u);
+  EXPECT_FALSE(updater.is_quarantined("alice"));
+  EXPECT_GT(updater.record("alice").reputation,
+            updater.policy().initial_reputation);
+}
+
+TEST_F(SecurityFixture, FalseVacancyCannotOpenPoisonedArea) {
+  // Structural property: Algorithm 1 labels a location not-safe if ANY
+  // nearby reading is hot; adding forged low readings can never flip a
+  // not-safe label back to safe.
+  SpectrumDatabase db = make_db();
+  const std::vector<int> before = db.labels(46);
+
+  AttackConfig attack;
+  attack.type = AttackType::kFalseVacancy;
+  attack.target_area = geo::BoundingBox{12'000.0, 20'000.0, 16'000.0,
+                                        24'000.0};  // occupied north
+  attack.forged_rss_dbm = -86.5;  // matches the RTL floor: passes checks
+  attack.num_reports = 60;
+  (void)db.upload_measurements(46, forge_uploads(attack), "mallory");
+
+  const std::vector<int> after = db.labels(46);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == ml::kNotSafe) EXPECT_EQ(after[i], ml::kNotSafe);
+  }
+}
+
+TEST_F(SecurityFixture, ReputationComposesWithTheWireProtocol) {
+  // Full online-phase stack: forged uploads arrive over WSNP, the
+  // database's checks reject them, and the SecureUpdater can meanwhile
+  // quarantine the identity for direct submissions.
+  SpectrumDatabase db = make_db();
+  ProtocolServer server(db);
+  ProtocolClient client(
+      [&server](const std::string& wire) { return server.handle(wire); });
+  const auto wire_result =
+      client.upload(46, "mallory", covered_area_forgery(3));
+  EXPECT_EQ(wire_result.accepted, 0u);
+  EXPECT_GT(wire_result.rejected, 0u);
+  // Nothing forged reached the model path.
+  EXPECT_EQ(db.stats().uploads_accepted, 0u);
+}
+
+TEST_F(SecurityFixture, RecordLookupValidates) {
+  SecureUpdater updater;
+  EXPECT_THROW((void)updater.record("nobody"), std::out_of_range);
+  EXPECT_FALSE(updater.is_quarantined("nobody"));
+  EXPECT_EQ(updater.num_contributors(), 0u);
+}
+
+}  // namespace
+}  // namespace waldo::core

@@ -1,0 +1,291 @@
+// waldo — command-line front end to the library.
+//
+//   waldo simulate --out DIR [--readings N] [--channels 15,46] [--seed S]
+//       Run the synthetic three-sensor measurement campaign and write one
+//       CSV sweep per (channel, sensor).
+//   waldo label --in sweep.csv [--threshold -84] [--separation 6000]
+//       [--correction 0]
+//       Apply Algorithm 1 to a sweep and print the occupancy summary.
+//   waldo train --in sweep.csv --model out.wsm [--classifier svm]
+//       [--features 3] [--localities 3] [--max-train 800]
+//       Build a White Space Detection Model from a sweep.
+//   waldo predict --model m.wsm --east E --north N [--rss R] [--cft C]
+//       [--aft A]
+//       Classify one location (meters in the campaign's ENU frame).
+//   waldo map --model m.wsm --in sweep.csv [--cols 64] [--rows 32]
+//       ASCII map of the model's decisions over the sweep's bounding box.
+//   waldo info --model m.wsm
+//       Print a model descriptor's vital statistics.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "waldo/campaign/dataset_io.hpp"
+#include "waldo/campaign/labeling.hpp"
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/geo/grid_index.hpp"
+#include "waldo/core/features.hpp"
+#include "waldo/core/model.hpp"
+#include "waldo/core/model_constructor.hpp"
+#include "waldo/ml/metrics.hpp"
+#include "waldo/rf/environment.hpp"
+#include "waldo/sensors/sensor.hpp"
+
+namespace {
+
+using namespace waldo;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("missing required flag --" + key);
+    }
+    return it->second;
+  }
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::optional<double> maybe_num(
+      const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<int> parse_channels(const std::string& list) {
+  std::vector<int> out;
+  std::istringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) out.push_back(std::stoi(token));
+  return out;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string out_dir = args.get("out");
+  const auto readings =
+      static_cast<std::size_t>(args.num("readings", 5282));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 99));
+  std::vector<int> channels(rf::kPaperChannels.begin(),
+                            rf::kPaperChannels.end());
+  if (const std::string list = args.get_or("channels", ""); !list.empty()) {
+    channels = parse_channels(list);
+  }
+
+  const rf::Environment world = rf::make_metro_environment();
+  const geo::DrivePath route = campaign::standard_route(world, readings,
+                                                        seed);
+  std::printf("route: %zu readings, %.0f km\n", route.readings.size(),
+              route.total_length_m / 1000.0);
+  std::filesystem::create_directories(out_dir);
+
+  struct Unit {
+    const char* tag;
+    sensors::Sensor sensor;
+  };
+  Unit units[] = {{"fieldfox",
+                   sensors::Sensor(sensors::spectrum_analyzer_spec(), seed)},
+                  {"rtlsdr", sensors::Sensor(sensors::rtl_sdr_spec(),
+                                             seed + 1)},
+                  {"usrp", sensors::Sensor(sensors::usrp_b200_spec(),
+                                           seed + 2)}};
+  for (Unit& u : units) {
+    if (!u.sensor.calibration().has_value()) u.sensor.calibrate();
+  }
+  for (const int ch : channels) {
+    for (Unit& u : units) {
+      const auto sweep =
+          campaign::collect_channel(world, u.sensor, ch, route.readings);
+      const std::string path = out_dir + "/ch" + std::to_string(ch) + "_" +
+                               u.tag + ".csv";
+      campaign::write_csv_file(path, sweep);
+      std::printf("wrote %s (%zu readings)\n", path.c_str(), sweep.size());
+    }
+  }
+  return 0;
+}
+
+campaign::LabelingConfig labeling_from(const Args& args) {
+  campaign::LabelingConfig cfg;
+  cfg.threshold_dbm = args.num("threshold", cfg.threshold_dbm);
+  cfg.separation_m = args.num("separation", cfg.separation_m);
+  cfg.correction_db = args.num("correction", cfg.correction_db);
+  return cfg;
+}
+
+int cmd_label(const Args& args) {
+  const campaign::ChannelDataset ds =
+      campaign::read_csv_file(args.get("in"));
+  const auto labels = campaign::label_readings(
+      ds.positions(), ds.rss_values(), labeling_from(args));
+  std::size_t safe = 0;
+  for (const int l : labels) safe += l == ml::kSafe ? 1 : 0;
+  std::printf("channel %d (%s): %zu readings, %zu safe (%.1f%%), %zu not "
+              "safe\n",
+              ds.channel, ds.sensor_name.c_str(), labels.size(), safe,
+              100.0 * campaign::safe_fraction(labels),
+              labels.size() - safe);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const campaign::ChannelDataset ds =
+      campaign::read_csv_file(args.get("in"));
+  core::ModelConstructorConfig cfg;
+  cfg.classifier = args.get_or("classifier", "svm");
+  cfg.num_features = static_cast<int>(args.num("features", 3));
+  cfg.num_localities =
+      static_cast<std::size_t>(args.num("localities", 3));
+  cfg.max_train_samples =
+      static_cast<std::size_t>(args.num("max-train", 800));
+  const core::WhiteSpaceModel model =
+      core::ModelConstructor(cfg).build_with_labeling(ds,
+                                                      labeling_from(args));
+  const std::string path = args.get("model");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  model.save(out);
+  std::printf("trained %s model for channel %d: %zu localities (%zu "
+              "constant), %zu bytes -> %s\n",
+              model.classifier_kind().c_str(), model.channel(),
+              model.num_localities(), model.num_constant_localities(),
+              model.descriptor_size_bytes(), path.c_str());
+  return 0;
+}
+
+core::WhiteSpaceModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  core::WhiteSpaceModel model;
+  model.load(in);
+  return model;
+}
+
+int cmd_predict(const Args& args) {
+  const core::WhiteSpaceModel model = load_model(args.get("model"));
+  const geo::EnuPoint p{args.num("east", 0.0), args.num("north", 0.0)};
+  if (model.num_features() >= 2 && !args.maybe_num("rss").has_value()) {
+    throw std::invalid_argument(
+        "this model uses signal features; pass at least --rss");
+  }
+  const double rss = args.num("rss", -90.0);
+  const auto row = core::feature_row(p, rss, args.num("cft", rss - 11.3),
+                                     args.num("aft", rss - 20.0),
+                                     model.num_features());
+  const int decision = model.predict(row);
+  std::printf("channel %d at (%.0f, %.0f): %s\n", model.channel(), p.east_m,
+              p.north_m,
+              decision == ml::kSafe ? "SAFE (white space available)"
+                                    : "NOT SAFE (protected)");
+  return decision == ml::kSafe ? 0 : 2;
+}
+
+int cmd_map(const Args& args) {
+  const core::WhiteSpaceModel model = load_model(args.get("model"));
+  const campaign::ChannelDataset ds =
+      campaign::read_csv_file(args.get("in"));
+  const geo::BoundingBox box = geo::BoundingBox::of(ds.positions());
+  const int cols = static_cast<int>(args.num("cols", 64));
+  const int rows = static_cast<int>(args.num("rows", 32));
+
+  // Nearest-reading features drive the prediction at each cell.
+  const geo::GridIndex index(ds.positions(), 1000.0);
+  for (int r = rows - 1; r >= 0; --r) {
+    std::string line;
+    for (int c = 0; c < cols; ++c) {
+      const geo::EnuPoint p{
+          box.min_east_m + (c + 0.5) / cols * box.width_m(),
+          box.min_north_m + (r + 0.5) / rows * box.height_m()};
+      const campaign::Measurement& near =
+          ds.readings[index.nearest(p)];
+      const auto row = core::feature_row(p, near.rss_dbm, near.cft_db,
+                                         near.aft_db, model.num_features());
+      line += model.predict(row) == ml::kSafe ? '.' : '+';
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("channel %d: '+' not safe, '.' white space (%dx%d cells over "
+              "%.0f km^2)\n",
+              model.channel(), cols, rows, box.area_km2());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const core::WhiteSpaceModel model = load_model(args.get("model"));
+  std::printf("channel:        %d\n", model.channel());
+  std::printf("classifier:     %s\n", model.classifier_kind().c_str());
+  std::printf("features:       %d (", model.num_features());
+  for (int f = 1; f <= model.num_features(); ++f) {
+    std::printf("%s%s", f > 1 ? ", " : "", core::feature_name(f));
+  }
+  std::printf(")\n");
+  std::printf("localities:     %zu (%zu constant)\n", model.num_localities(),
+              model.num_constant_localities());
+  if (const auto constant = model.constant_label()) {
+    std::printf("area-wide:      %s (cacheable without sensing)\n",
+                *constant == ml::kSafe ? "SAFE" : "NOT SAFE");
+  }
+  std::printf("descriptor:     %zu bytes\n", model.descriptor_size_bytes());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "waldo — local and low-cost white space detection\n"
+      "usage: waldo <simulate|label|train|predict|map|info> [--flags]\n"
+      "see the header of tools/waldo_cli.cpp for per-command flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "label") return cmd_label(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "map") return cmd_map(args);
+    if (command == "info") return cmd_info(args);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "waldo %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
