@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_classifiers"
+  "../bench/bench_ablation_classifiers.pdb"
+  "CMakeFiles/bench_ablation_classifiers.dir/bench_ablation_classifiers.cpp.o"
+  "CMakeFiles/bench_ablation_classifiers.dir/bench_ablation_classifiers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

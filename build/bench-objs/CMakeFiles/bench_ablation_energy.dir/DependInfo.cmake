@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_energy.cpp" "bench-objs/CMakeFiles/bench_ablation_energy.dir/bench_ablation_energy.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_ablation_energy.dir/bench_ablation_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-objs/CMakeFiles/waldo_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/waldo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/waldo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/campaign/CMakeFiles/waldo_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/waldo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/waldo_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/waldo_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/waldo_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/waldo_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

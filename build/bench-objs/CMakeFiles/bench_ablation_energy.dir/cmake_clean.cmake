@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_energy"
+  "../bench/bench_ablation_energy.pdb"
+  "CMakeFiles/bench_ablation_energy.dir/bench_ablation_energy.cpp.o"
+  "CMakeFiles/bench_ablation_energy.dir/bench_ablation_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

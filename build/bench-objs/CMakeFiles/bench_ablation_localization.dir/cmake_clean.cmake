@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_localization"
+  "../bench/bench_ablation_localization.pdb"
+  "CMakeFiles/bench_ablation_localization.dir/bench_ablation_localization.cpp.o"
+  "CMakeFiles/bench_ablation_localization.dir/bench_ablation_localization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_seasons"
+  "../bench/bench_ablation_seasons.pdb"
+  "CMakeFiles/bench_ablation_seasons.dir/bench_ablation_seasons.cpp.o"
+  "CMakeFiles/bench_ablation_seasons.dir/bench_ablation_seasons.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_security"
+  "../bench/bench_ablation_security.pdb"
+  "CMakeFiles/bench_ablation_security.dir/bench_ablation_security.cpp.o"
+  "CMakeFiles/bench_ablation_security.dir/bench_ablation_security.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

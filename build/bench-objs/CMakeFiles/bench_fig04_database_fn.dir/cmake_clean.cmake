@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_database_fn"
+  "../bench/bench_fig04_database_fn.pdb"
+  "CMakeFiles/bench_fig04_database_fn.dir/bench_fig04_database_fn.cpp.o"
+  "CMakeFiles/bench_fig04_database_fn.dir/bench_fig04_database_fn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_database_fn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

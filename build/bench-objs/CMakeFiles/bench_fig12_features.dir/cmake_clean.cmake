@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_features"
+  "../bench/bench_fig12_features.pdb"
+  "CMakeFiles/bench_fig12_features.dir/bench_fig12_features.cpp.o"
+  "CMakeFiles/bench_fig12_features.dir/bench_fig12_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

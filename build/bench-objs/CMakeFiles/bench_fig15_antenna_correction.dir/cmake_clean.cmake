@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_antenna_correction"
+  "../bench/bench_fig15_antenna_correction.pdb"
+  "CMakeFiles/bench_fig15_antenna_correction.dir/bench_fig15_antenna_correction.cpp.o"
+  "CMakeFiles/bench_fig15_antenna_correction.dir/bench_fig15_antenna_correction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_antenna_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

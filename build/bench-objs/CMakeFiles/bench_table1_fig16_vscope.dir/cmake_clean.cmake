@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_fig16_vscope"
+  "../bench/bench_table1_fig16_vscope.pdb"
+  "CMakeFiles/bench_table1_fig16_vscope.dir/bench_table1_fig16_vscope.cpp.o"
+  "CMakeFiles/bench_table1_fig16_vscope.dir/bench_table1_fig16_vscope.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fig16_vscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

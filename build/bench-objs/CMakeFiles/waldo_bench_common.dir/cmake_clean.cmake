@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_bench_common.dir/common.cpp.o"
+  "CMakeFiles/waldo_bench_common.dir/common.cpp.o.d"
+  "libwaldo_bench_common.a"
+  "libwaldo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

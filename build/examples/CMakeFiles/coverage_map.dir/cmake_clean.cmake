@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_map.dir/coverage_map.cpp.o"
+  "CMakeFiles/coverage_map.dir/coverage_map.cpp.o.d"
+  "coverage_map"
+  "coverage_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_wsd.dir/mobile_wsd.cpp.o"
+  "CMakeFiles/mobile_wsd.dir/mobile_wsd.cpp.o.d"
+  "mobile_wsd"
+  "mobile_wsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_wsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wardrive_campaign.dir/wardrive_campaign.cpp.o"
+  "CMakeFiles/wardrive_campaign.dir/wardrive_campaign.cpp.o.d"
+  "wardrive_campaign"
+  "wardrive_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wardrive_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_baselines.dir/geo_database.cpp.o"
+  "CMakeFiles/waldo_baselines.dir/geo_database.cpp.o.d"
+  "CMakeFiles/waldo_baselines.dir/interpolation.cpp.o"
+  "CMakeFiles/waldo_baselines.dir/interpolation.cpp.o.d"
+  "CMakeFiles/waldo_baselines.dir/kriging.cpp.o"
+  "CMakeFiles/waldo_baselines.dir/kriging.cpp.o.d"
+  "CMakeFiles/waldo_baselines.dir/sensing_only.cpp.o"
+  "CMakeFiles/waldo_baselines.dir/sensing_only.cpp.o.d"
+  "CMakeFiles/waldo_baselines.dir/vscope.cpp.o"
+  "CMakeFiles/waldo_baselines.dir/vscope.cpp.o.d"
+  "libwaldo_baselines.a"
+  "libwaldo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

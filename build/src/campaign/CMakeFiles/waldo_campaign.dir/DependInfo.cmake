@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/dataset_io.cpp" "src/campaign/CMakeFiles/waldo_campaign.dir/dataset_io.cpp.o" "gcc" "src/campaign/CMakeFiles/waldo_campaign.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/campaign/labeling.cpp" "src/campaign/CMakeFiles/waldo_campaign.dir/labeling.cpp.o" "gcc" "src/campaign/CMakeFiles/waldo_campaign.dir/labeling.cpp.o.d"
+  "/root/repo/src/campaign/measurement.cpp" "src/campaign/CMakeFiles/waldo_campaign.dir/measurement.cpp.o" "gcc" "src/campaign/CMakeFiles/waldo_campaign.dir/measurement.cpp.o.d"
+  "/root/repo/src/campaign/truth.cpp" "src/campaign/CMakeFiles/waldo_campaign.dir/truth.cpp.o" "gcc" "src/campaign/CMakeFiles/waldo_campaign.dir/truth.cpp.o.d"
+  "/root/repo/src/campaign/wardrive.cpp" "src/campaign/CMakeFiles/waldo_campaign.dir/wardrive.cpp.o" "gcc" "src/campaign/CMakeFiles/waldo_campaign.dir/wardrive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/waldo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/waldo_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/waldo_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/waldo_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/waldo_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

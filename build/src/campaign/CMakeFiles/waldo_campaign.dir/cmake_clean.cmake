@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_campaign.dir/dataset_io.cpp.o"
+  "CMakeFiles/waldo_campaign.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/waldo_campaign.dir/labeling.cpp.o"
+  "CMakeFiles/waldo_campaign.dir/labeling.cpp.o.d"
+  "CMakeFiles/waldo_campaign.dir/measurement.cpp.o"
+  "CMakeFiles/waldo_campaign.dir/measurement.cpp.o.d"
+  "CMakeFiles/waldo_campaign.dir/truth.cpp.o"
+  "CMakeFiles/waldo_campaign.dir/truth.cpp.o.d"
+  "CMakeFiles/waldo_campaign.dir/wardrive.cpp.o"
+  "CMakeFiles/waldo_campaign.dir/wardrive.cpp.o.d"
+  "libwaldo_campaign.a"
+  "libwaldo_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cpp" "src/core/CMakeFiles/waldo_core.dir/database.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/database.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/waldo_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/waldo_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/waldo_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/model_constructor.cpp" "src/core/CMakeFiles/waldo_core.dir/model_constructor.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/model_constructor.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/waldo_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/security.cpp" "src/core/CMakeFiles/waldo_core.dir/security.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/security.cpp.o.d"
+  "/root/repo/src/core/transmitter_locator.cpp" "src/core/CMakeFiles/waldo_core.dir/transmitter_locator.cpp.o" "gcc" "src/core/CMakeFiles/waldo_core.dir/transmitter_locator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/campaign/CMakeFiles/waldo_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/waldo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/waldo_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/waldo_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/waldo_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/waldo_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

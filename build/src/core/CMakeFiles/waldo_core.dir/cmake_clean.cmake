@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_core.dir/database.cpp.o"
+  "CMakeFiles/waldo_core.dir/database.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/detector.cpp.o"
+  "CMakeFiles/waldo_core.dir/detector.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/features.cpp.o"
+  "CMakeFiles/waldo_core.dir/features.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/model.cpp.o"
+  "CMakeFiles/waldo_core.dir/model.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/model_constructor.cpp.o"
+  "CMakeFiles/waldo_core.dir/model_constructor.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/protocol.cpp.o"
+  "CMakeFiles/waldo_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/security.cpp.o"
+  "CMakeFiles/waldo_core.dir/security.cpp.o.d"
+  "CMakeFiles/waldo_core.dir/transmitter_locator.cpp.o"
+  "CMakeFiles/waldo_core.dir/transmitter_locator.cpp.o.d"
+  "libwaldo_core.a"
+  "libwaldo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_device.dir/energy.cpp.o"
+  "CMakeFiles/waldo_device.dir/energy.cpp.o.d"
+  "CMakeFiles/waldo_device.dir/phone.cpp.o"
+  "CMakeFiles/waldo_device.dir/phone.cpp.o.d"
+  "libwaldo_device.a"
+  "libwaldo_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/detectors.cpp" "src/dsp/CMakeFiles/waldo_dsp.dir/detectors.cpp.o" "gcc" "src/dsp/CMakeFiles/waldo_dsp.dir/detectors.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/waldo_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/waldo_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/iq.cpp" "src/dsp/CMakeFiles/waldo_dsp.dir/iq.cpp.o" "gcc" "src/dsp/CMakeFiles/waldo_dsp.dir/iq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/waldo_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/waldo_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_dsp.dir/detectors.cpp.o"
+  "CMakeFiles/waldo_dsp.dir/detectors.cpp.o.d"
+  "CMakeFiles/waldo_dsp.dir/fft.cpp.o"
+  "CMakeFiles/waldo_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/waldo_dsp.dir/iq.cpp.o"
+  "CMakeFiles/waldo_dsp.dir/iq.cpp.o.d"
+  "libwaldo_dsp.a"
+  "libwaldo_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

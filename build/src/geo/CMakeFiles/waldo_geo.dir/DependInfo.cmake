@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/drive_path.cpp" "src/geo/CMakeFiles/waldo_geo.dir/drive_path.cpp.o" "gcc" "src/geo/CMakeFiles/waldo_geo.dir/drive_path.cpp.o.d"
+  "/root/repo/src/geo/grid_index.cpp" "src/geo/CMakeFiles/waldo_geo.dir/grid_index.cpp.o" "gcc" "src/geo/CMakeFiles/waldo_geo.dir/grid_index.cpp.o.d"
+  "/root/repo/src/geo/latlon.cpp" "src/geo/CMakeFiles/waldo_geo.dir/latlon.cpp.o" "gcc" "src/geo/CMakeFiles/waldo_geo.dir/latlon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_geo.dir/drive_path.cpp.o"
+  "CMakeFiles/waldo_geo.dir/drive_path.cpp.o.d"
+  "CMakeFiles/waldo_geo.dir/grid_index.cpp.o"
+  "CMakeFiles/waldo_geo.dir/grid_index.cpp.o.d"
+  "CMakeFiles/waldo_geo.dir/latlon.cpp.o"
+  "CMakeFiles/waldo_geo.dir/latlon.cpp.o.d"
+  "libwaldo_geo.a"
+  "libwaldo_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/waldo_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/waldo_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/waldo_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/waldo_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/waldo_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/waldo_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/waldo_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/waldo_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/waldo_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/standardizer.cpp" "src/ml/CMakeFiles/waldo_ml.dir/standardizer.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/standardizer.cpp.o.d"
+  "/root/repo/src/ml/stats.cpp" "src/ml/CMakeFiles/waldo_ml.dir/stats.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/stats.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/waldo_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/waldo_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_ml.dir/classifier.cpp.o"
+  "CMakeFiles/waldo_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/waldo_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/waldo_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/waldo_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/knn.cpp.o"
+  "CMakeFiles/waldo_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/waldo_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/matrix.cpp.o"
+  "CMakeFiles/waldo_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/metrics.cpp.o"
+  "CMakeFiles/waldo_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/waldo_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/standardizer.cpp.o"
+  "CMakeFiles/waldo_ml.dir/standardizer.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/stats.cpp.o"
+  "CMakeFiles/waldo_ml.dir/stats.cpp.o.d"
+  "CMakeFiles/waldo_ml.dir/svm.cpp.o"
+  "CMakeFiles/waldo_ml.dir/svm.cpp.o.d"
+  "libwaldo_ml.a"
+  "libwaldo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

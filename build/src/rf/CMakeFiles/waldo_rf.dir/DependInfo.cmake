@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/environment.cpp" "src/rf/CMakeFiles/waldo_rf.dir/environment.cpp.o" "gcc" "src/rf/CMakeFiles/waldo_rf.dir/environment.cpp.o.d"
+  "/root/repo/src/rf/path_loss.cpp" "src/rf/CMakeFiles/waldo_rf.dir/path_loss.cpp.o" "gcc" "src/rf/CMakeFiles/waldo_rf.dir/path_loss.cpp.o.d"
+  "/root/repo/src/rf/shadowing.cpp" "src/rf/CMakeFiles/waldo_rf.dir/shadowing.cpp.o" "gcc" "src/rf/CMakeFiles/waldo_rf.dir/shadowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/waldo_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

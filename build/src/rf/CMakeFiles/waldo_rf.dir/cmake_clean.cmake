@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_rf.dir/environment.cpp.o"
+  "CMakeFiles/waldo_rf.dir/environment.cpp.o.d"
+  "CMakeFiles/waldo_rf.dir/path_loss.cpp.o"
+  "CMakeFiles/waldo_rf.dir/path_loss.cpp.o.d"
+  "CMakeFiles/waldo_rf.dir/shadowing.cpp.o"
+  "CMakeFiles/waldo_rf.dir/shadowing.cpp.o.d"
+  "libwaldo_rf.a"
+  "libwaldo_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

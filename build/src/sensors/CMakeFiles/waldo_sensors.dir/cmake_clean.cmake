@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo_sensors.dir/calibration.cpp.o"
+  "CMakeFiles/waldo_sensors.dir/calibration.cpp.o.d"
+  "CMakeFiles/waldo_sensors.dir/sensor.cpp.o"
+  "CMakeFiles/waldo_sensors.dir/sensor.cpp.o.d"
+  "libwaldo_sensors.a"
+  "libwaldo_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

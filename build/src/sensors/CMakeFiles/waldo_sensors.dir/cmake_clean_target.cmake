@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwaldo_sensors.a"
+)

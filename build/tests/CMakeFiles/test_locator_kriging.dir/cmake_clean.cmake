@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locator_kriging.dir/test_locator_kriging.cpp.o"
+  "CMakeFiles/test_locator_kriging.dir/test_locator_kriging.cpp.o.d"
+  "test_locator_kriging"
+  "test_locator_kriging.pdb"
+  "test_locator_kriging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locator_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

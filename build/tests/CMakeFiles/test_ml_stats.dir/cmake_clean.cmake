@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_stats.dir/test_ml_stats.cpp.o"
+  "CMakeFiles/test_ml_stats.dir/test_ml_stats.cpp.o.d"
+  "test_ml_stats"
+  "test_ml_stats.pdb"
+  "test_ml_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

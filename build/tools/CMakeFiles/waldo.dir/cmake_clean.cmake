@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waldo.dir/waldo_cli.cpp.o"
+  "CMakeFiles/waldo.dir/waldo_cli.cpp.o.d"
+  "waldo"
+  "waldo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waldo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
