@@ -1,0 +1,15 @@
+#include "waldo/baselines/estimator.hpp"
+
+#include "waldo/runtime/parallel.hpp"
+
+namespace waldo::baselines {
+
+std::vector<int> WhiteSpaceEstimator::classify_batch(
+    std::span<const geo::EnuPoint> points, unsigned threads) const {
+  std::vector<int> out(points.size());
+  runtime::parallel_for(points.size(), threads,
+                        [&](std::size_t i) { out[i] = classify(points[i]); });
+  return out;
+}
+
+}  // namespace waldo::baselines

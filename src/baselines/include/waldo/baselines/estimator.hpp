@@ -3,6 +3,9 @@
 // channel?" from location alone.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "waldo/geo/latlon.hpp"
 
 namespace waldo::baselines {
@@ -12,6 +15,13 @@ class WhiteSpaceEstimator {
   virtual ~WhiteSpaceEstimator() = default;
   /// ml::kSafe or ml::kNotSafe for a location.
   [[nodiscard]] virtual int classify(const geo::EnuPoint& p) const = 0;
+
+  /// Classifies a batch of query points, fanning the per-query work out
+  /// over `threads` workers (0 = all hardware threads). Queries are
+  /// read-only and independent, so the result equals calling classify()
+  /// point by point, in order, at any thread count.
+  [[nodiscard]] std::vector<int> classify_batch(
+      std::span<const geo::EnuPoint> points, unsigned threads = 0) const;
 };
 
 }  // namespace waldo::baselines

@@ -30,6 +30,10 @@ class IdwDatabase final : public WhiteSpaceEstimator {
   void fit(const campaign::ChannelDataset& data);
 
   [[nodiscard]] double predict_rss_dbm(const geo::EnuPoint& p) const;
+  /// Per-query parallel batch of predict_rss_dbm (0 = all hardware
+  /// threads); identical to the per-point calls at any thread count.
+  [[nodiscard]] std::vector<double> predict_rss_batch(
+      std::span<const geo::EnuPoint> points, unsigned threads = 0) const;
   [[nodiscard]] int classify(const geo::EnuPoint& p) const override;
 
  private:

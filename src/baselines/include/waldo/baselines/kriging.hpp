@@ -50,6 +50,11 @@ class KrigingDatabase final : public WhiteSpaceEstimator {
     double variance = 0.0;  ///< kriging variance (estimation uncertainty)
   };
   [[nodiscard]] Prediction predict(const geo::EnuPoint& p) const;
+  /// Per-query parallel batch prediction: each query solves its own local
+  /// kriging system, so results match predict() point by point at any
+  /// thread count (0 = all hardware threads).
+  [[nodiscard]] std::vector<Prediction> predict_batch(
+      std::span<const geo::EnuPoint> points, unsigned threads = 0) const;
   [[nodiscard]] double predict_rss_dbm(const geo::EnuPoint& p) const {
     return predict(p).rss_dbm;
   }

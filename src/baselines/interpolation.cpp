@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "waldo/ml/metrics.hpp"
+#include "waldo/runtime/parallel.hpp"
 
 namespace waldo::baselines {
 
@@ -27,6 +28,14 @@ double IdwDatabase::predict_rss_dbm(const geo::EnuPoint& p) const {
     acc += w * rss_[i];
   }
   return wsum > 0.0 ? acc / wsum : -200.0;
+}
+
+std::vector<double> IdwDatabase::predict_rss_batch(
+    std::span<const geo::EnuPoint> points, unsigned threads) const {
+  if (!index_) throw std::logic_error("idw: not fitted");
+  return runtime::parallel_map(
+      points.size(), threads,
+      [&](std::size_t i) { return predict_rss_dbm(points[i]); });
 }
 
 int IdwDatabase::classify(const geo::EnuPoint& p) const {

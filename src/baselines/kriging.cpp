@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "waldo/ml/metrics.hpp"
+#include "waldo/runtime/parallel.hpp"
 
 namespace waldo::baselines {
 
@@ -163,6 +164,13 @@ KrigingDatabase::Prediction KrigingDatabase::predict(
   for (std::size_t i = 0; i < k; ++i) out.variance += rhs[i] * b[i];
   out.variance = std::max(0.0, out.variance);
   return out;
+}
+
+std::vector<KrigingDatabase::Prediction> KrigingDatabase::predict_batch(
+    std::span<const geo::EnuPoint> points, unsigned threads) const {
+  if (!index_) throw std::logic_error("kriging: not fitted");
+  return runtime::parallel_map(points.size(), threads,
+                               [&](std::size_t i) { return predict(points[i]); });
 }
 
 int KrigingDatabase::classify(const geo::EnuPoint& p) const {

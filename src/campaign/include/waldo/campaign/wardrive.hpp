@@ -15,11 +15,18 @@ namespace waldo::campaign {
 struct CollectOptions {
   /// Keep the 256 I/Q samples on each Measurement (memory: ~4 kB/reading).
   bool keep_iq = false;
+  /// Worker threads for the per-reading sensing fan-out (0 = all hardware
+  /// threads). The dataset is byte-identical for every thread count: each
+  /// reading's sensing noise is seeded from (channel, route index), not
+  /// drawn from a shared sequential engine. See docs/CONCURRENCY.md.
+  unsigned threads = 0;
 };
 
 /// Collects one channel sweep along `route` with `sensor` (which must be
 /// calibrated). Every reading records the calibrated RSS estimate and the
-/// CFT/AFT spectral features computed from the capture.
+/// CFT/AFT spectral features computed from the capture. Collection is a
+/// pure function of (sensor unit seed, channel, route): re-collecting the
+/// same sweep reproduces it exactly.
 [[nodiscard]] ChannelDataset collect_channel(
     const rf::Environment& environment, sensors::Sensor& sensor, int channel,
     std::span<const geo::EnuPoint> route, const CollectOptions& options = {});

@@ -1,6 +1,9 @@
 #include "waldo/campaign/wardrive.hpp"
 
 #include "waldo/dsp/detectors.hpp"
+#include "waldo/runtime/parallel.hpp"
+#include "waldo/runtime/seed.hpp"
+#include "waldo/runtime/stage_timer.hpp"
 
 namespace waldo::campaign {
 
@@ -8,14 +11,24 @@ ChannelDataset collect_channel(const rf::Environment& environment,
                                sensors::Sensor& sensor, int channel,
                                std::span<const geo::EnuPoint> route,
                                const CollectOptions& options) {
+  const auto timing = runtime::StageTimer::global().scope(
+      "campaign.collect_channel", route.size());
+
   ChannelDataset ds;
   ds.channel = channel;
   ds.sensor_name = sensor.spec().name;
-  ds.readings.reserve(route.size());
+  ds.readings.resize(route.size());
 
-  for (const geo::EnuPoint& p : route) {
+  // Readings are independent: each derives its sensing noise from the
+  // stream (channel, route index), so the sweep is a pure function of the
+  // sensor's unit seed and the route — whatever the thread count.
+  const auto channel_stream =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(channel));
+  runtime::parallel_for(route.size(), options.threads, [&](std::size_t i) {
+    const geo::EnuPoint& p = route[i];
     const double truth = environment.true_rss_dbm(channel, p);
-    sensors::SensorReading reading = sensor.sense_channel(truth);
+    sensors::SensorReading reading = sensor.sense_channel(
+        truth, runtime::split_seed(channel_stream, i));
 
     Measurement m;
     m.position = p;
@@ -25,8 +38,8 @@ ChannelDataset collect_channel(const rf::Environment& environment,
     m.aft_db = dsp::central_band_mean_db(reading.iq);
     m.true_rss_dbm = truth;
     if (options.keep_iq) m.iq = std::move(reading.iq);
-    ds.readings.push_back(std::move(m));
-  }
+    ds.readings[i] = std::move(m);
+  });
   return ds;
 }
 

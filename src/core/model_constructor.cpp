@@ -7,6 +7,9 @@
 #include "waldo/core/features.hpp"
 #include "waldo/ml/kmeans.hpp"
 #include "waldo/ml/metrics.hpp"
+#include "waldo/runtime/parallel.hpp"
+#include "waldo/runtime/seed.hpp"
+#include "waldo/runtime/stage_timer.hpp"
 
 namespace waldo::core {
 
@@ -18,6 +21,7 @@ WhiteSpaceModel ModelConstructor::build(const campaign::ChannelDataset& data,
   if (labels.size() != data.readings.size()) {
     throw std::invalid_argument("labels / readings size mismatch");
   }
+  runtime::StageTimer& timer = runtime::StageTimer::global();
 
   // Localities from reading locations only.
   ml::Matrix locations(data.readings.size(), 2);
@@ -28,57 +32,73 @@ WhiteSpaceModel ModelConstructor::build(const campaign::ChannelDataset& data,
   ml::KMeansConfig kmc;
   kmc.k = std::max<std::size_t>(1, config_.num_localities);
   kmc.seed = config_.seed;
-  const ml::KMeansResult clusters = ml::kmeans(locations, kmc);
+  kmc.threads = config_.threads;
+  ml::KMeansResult clusters;
+  {
+    const auto timing = timer.scope("model.kmeans", data.readings.size());
+    clusters = ml::kmeans(locations, kmc);
+  }
   const std::size_t k = clusters.centroids.rows();
 
-  const ml::Matrix features = build_features(data, config_.num_features);
+  const ml::Matrix features = [&] {
+    const auto timing = timer.scope("model.features", data.readings.size());
+    return build_features(data, config_.num_features);
+  }();
 
-  std::vector<WhiteSpaceModel::Locality> localities;
-  localities.reserve(k);
-  std::mt19937_64 rng(config_.seed + 1);
-
-  for (std::size_t c = 0; c < k; ++c) {
-    std::vector<std::size_t> member;
-    for (std::size_t i = 0; i < data.readings.size(); ++i) {
-      if (clusters.assignment[i] == c) member.push_back(i);
-    }
-
-    WhiteSpaceModel::Locality loc;
-    std::size_t safe = 0;
-    for (const std::size_t i : member) safe += labels[i] == ml::kSafe ? 1 : 0;
-
-    if (member.empty() || safe == 0 || safe == member.size()) {
-      // Binary locality: no classifier to ship. Empty localities default
-      // to the conservative "not safe".
-      loc.constant = true;
-      loc.constant_label = (!member.empty() && safe == member.size())
-                               ? ml::kSafe
-                               : ml::kNotSafe;
-      localities.push_back(std::move(loc));
-      continue;
-    }
-
-    if (config_.max_train_samples > 0 &&
-        member.size() > config_.max_train_samples) {
-      std::shuffle(member.begin(), member.end(), rng);
-      member.resize(config_.max_train_samples);
-    }
-
-    const ml::Matrix x = features.take_rows(member);
-    std::vector<int> y;
-    y.reserve(member.size());
-    for (const std::size_t i : member) y.push_back(labels[i]);
-
-    std::unique_ptr<ml::Classifier> clf;
-    if (config_.classifier == "svm") {
-      clf = std::make_unique<ml::Svm>(config_.svm);
-    } else {
-      clf = make_classifier(config_.classifier);
-    }
-    clf->fit(x, y);
-    loc.classifier = std::move(clf);
-    localities.push_back(std::move(loc));
+  // Membership lists per locality (cheap, serial).
+  std::vector<std::vector<std::size_t>> members(k);
+  for (std::size_t i = 0; i < data.readings.size(); ++i) {
+    members[clusters.assignment[i]].push_back(i);
   }
+
+  // Per-locality training — k independent classifiers, the pipeline's
+  // dominant cost, fanned out across threads. Each locality's subsample
+  // shuffle is seeded from (seed + 1, locality index), so the trained
+  // model is a pure function of (config, data, labels): thread counts and
+  // scheduling cannot change a single byte of the descriptor.
+  const auto timing = timer.scope("model.train", k);
+  std::vector<WhiteSpaceModel::Locality> localities =
+      runtime::parallel_map(k, config_.threads, [&](std::size_t c) {
+        std::vector<std::size_t> member = members[c];
+
+        WhiteSpaceModel::Locality loc;
+        std::size_t safe = 0;
+        for (const std::size_t i : member) {
+          safe += labels[i] == ml::kSafe ? 1 : 0;
+        }
+
+        if (member.empty() || safe == 0 || safe == member.size()) {
+          // Binary locality: no classifier to ship. Empty localities
+          // default to the conservative "not safe".
+          loc.constant = true;
+          loc.constant_label = (!member.empty() && safe == member.size())
+                                   ? ml::kSafe
+                                   : ml::kNotSafe;
+          return loc;
+        }
+
+        if (config_.max_train_samples > 0 &&
+            member.size() > config_.max_train_samples) {
+          std::mt19937_64 rng(runtime::split_seed(config_.seed + 1, c));
+          std::shuffle(member.begin(), member.end(), rng);
+          member.resize(config_.max_train_samples);
+        }
+
+        const ml::Matrix x = features.take_rows(member);
+        std::vector<int> y;
+        y.reserve(member.size());
+        for (const std::size_t i : member) y.push_back(labels[i]);
+
+        std::unique_ptr<ml::Classifier> clf;
+        if (config_.classifier == "svm") {
+          clf = std::make_unique<ml::Svm>(config_.svm);
+        } else {
+          clf = make_classifier(config_.classifier);
+        }
+        clf->fit(x, y);
+        loc.classifier = std::move(clf);
+        return loc;
+      });
 
   return WhiteSpaceModel(data.channel, config_.num_features,
                          config_.classifier, clusters.centroids,

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "waldo/runtime/parallel.hpp"
+
 namespace waldo::ml {
 
 std::size_t nearest_centroid(const Matrix& centroids,
@@ -67,10 +69,14 @@ KMeansResult kmeans(const Matrix& x, const KMeansConfig& config) {
   double prev_inertia = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
-    // Assign.
+    // Assign — the O(n k d) hot step, fanned out per row. The inertia
+    // reduction runs serially afterwards so its floating-point summation
+    // order (row 0 .. n-1) never depends on the thread count.
+    runtime::parallel_for(n, config.threads, [&](std::size_t i) {
+      result.assignment[i] = nearest_centroid(centroids, x.row(i));
+    });
     double inertia = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      result.assignment[i] = nearest_centroid(centroids, x.row(i));
       inertia += squared_distance(centroids.row(result.assignment[i]),
                                   x.row(i));
     }

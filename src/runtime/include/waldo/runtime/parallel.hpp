@@ -1,0 +1,43 @@
+// Data-parallel loops over an index range. The workhorse of every hot
+// stage: per-locality training, k-means assignment, per-fold CV,
+// per-reading collection, per-query baseline batches.
+//
+// Guarantees (the concurrency contract, see docs/CONCURRENCY.md):
+//  - `body(i)` is invoked exactly once for every i in [0, count) unless a
+//    body throws, in which case remaining indices may be skipped and the
+//    first exception is rethrown on the calling thread.
+//  - Each invocation sees a distinct index; writes to index-owned slots
+//    need no synchronisation.
+//  - `threads <= 1` (after resolve_threads) runs the plain serial loop on
+//    the calling thread — byte-for-byte today's single-threaded behaviour.
+//  - Nested calls (a body that itself calls parallel_for) run inline
+//    serially instead of re-entering the pool, so nesting is always safe.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "waldo/runtime/thread_pool.hpp"
+
+namespace waldo::runtime {
+
+/// Runs body(0) ... body(count - 1), distributing indices over at most
+/// `threads` executors (0 = auto). The calling thread participates, so a
+/// pool of size N serves parallel_for(..., N + 1, ...).
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps fn over [0, count) into a vector, preserving index order. The
+/// result type must be default-constructible and move-assignable.
+template <typename F>
+[[nodiscard]] auto parallel_map(std::size_t count, unsigned threads, F&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(count);
+  parallel_for(count, threads,
+               [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace waldo::runtime

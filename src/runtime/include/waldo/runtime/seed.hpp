@@ -1,0 +1,38 @@
+// Deterministic RNG seed splitting — the contract that makes every
+// parallel stage in this codebase bit-identical to its serial execution.
+//
+// A stage that needs randomness per task (per locality, per fold, per
+// reading) derives each task's engine seed as a pure function of the
+// stage's root seed and the task's index:
+//
+//   std::mt19937_64 rng(runtime::split_seed(root_seed, task_index));
+//
+// The derived seed does not depend on execution order, thread count or
+// scheduling, so `threads = 1` and `threads = N` consume identical random
+// streams. This replaces the older pattern of one engine shared across a
+// loop, whose draws depended on iteration order. See docs/CONCURRENCY.md.
+#pragma once
+
+#include <cstdint>
+
+namespace waldo::runtime {
+
+/// SplitMix64 finalizer (Steele, Lea & Flood / Vigna): a cheap bijective
+/// mixer whose outputs pass BigCrush. Used to decorrelate nearby integer
+/// inputs (seed, seed + 1, ...) into independent-looking seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for sub-stream `stream` of the generator rooted at `root`.
+/// Distinct (root, stream) pairs yield decorrelated seeds; the same pair
+/// always yields the same seed.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t root,
+                                                 std::uint64_t stream) noexcept {
+  return mix64(root + 0x632be59bd9b4e019ULL * (stream + 1));
+}
+
+}  // namespace waldo::runtime

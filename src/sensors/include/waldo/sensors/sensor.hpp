@@ -71,8 +71,19 @@ class Sensor {
 
   /// Over-the-air measurement of a TV channel whose true total power at
   /// the antenna is `channel_power_dbm`. Produces the raw pilot-band
-  /// reading and the I/Q capture.
+  /// reading and the I/Q capture. Draws from the sensor's sequential
+  /// engine, so consecutive calls produce fresh noise.
   [[nodiscard]] SensorReading sense_channel(double channel_power_dbm);
+
+  /// Stream-seeded variant: the same measurement, but every random draw
+  /// comes from an engine seeded with split_seed(unit seed, stream_id)
+  /// instead of the sequential engine. The reading is a pure function of
+  /// (spec, calibration, drift, seed, stream_id) — independent of call
+  /// order and of any other stream — which is what lets a war-drive sweep
+  /// fan readings out across threads and still produce byte-identical
+  /// datasets (docs/CONCURRENCY.md).
+  [[nodiscard]] SensorReading sense_channel(double channel_power_dbm,
+                                            std::uint64_t stream_id) const;
 
   void set_calibration(const LinearCalibration& cal) noexcept {
     calibration_ = cal;
@@ -104,10 +115,17 @@ class Sensor {
  private:
   /// Pilot-band power actually measured for a given in-band signal power:
   /// signal compounded with the device floor, plus gain jitter/impulses.
-  [[nodiscard]] double measured_pilot_band_dbm(double signal_pilot_dbm);
+  /// Draws from `rng`.
+  [[nodiscard]] double measured_pilot_band_dbm(double signal_pilot_dbm,
+                                               std::mt19937_64& rng) const;
+
+  /// Shared implementation of both sense_channel overloads.
+  [[nodiscard]] SensorReading sense_channel_with(double channel_power_dbm,
+                                                 std::mt19937_64& rng) const;
 
   SensorSpec spec_;
   dsp::CaptureConfig capture_;
+  std::uint64_t seed_;
   std::mt19937_64 rng_;
   std::optional<LinearCalibration> calibration_;
   double gain_drift_db_ = 0.0;

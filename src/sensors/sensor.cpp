@@ -7,6 +7,7 @@
 
 #include "waldo/rf/channels.hpp"
 #include "waldo/rf/units.hpp"
+#include "waldo/runtime/seed.hpp"
 
 namespace waldo::sensors {
 
@@ -51,7 +52,7 @@ SensorSpec spectrum_analyzer_spec() {
 }
 
 Sensor::Sensor(SensorSpec spec, std::uint64_t seed, dsp::CaptureConfig capture)
-    : spec_(std::move(spec)), capture_(capture), rng_(seed) {
+    : spec_(std::move(spec)), capture_(capture), seed_(seed), rng_(seed) {
   if (spec_.raw_slope == 0.0) {
     throw std::invalid_argument("sensor raw slope must be nonzero");
   }
@@ -61,18 +62,19 @@ Sensor::Sensor(SensorSpec spec, std::uint64_t seed, dsp::CaptureConfig capture)
   }
 }
 
-double Sensor::measured_pilot_band_dbm(double signal_pilot_dbm) {
+double Sensor::measured_pilot_band_dbm(double signal_pilot_dbm,
+                                       std::mt19937_64& rng) const {
   // The detector statistic saturates at the device floor: the signal and
   // the equivalent noise power compound.
   double measured = rf::add_dbm(signal_pilot_dbm, spec_.pilot_floor_dbm);
   std::normal_distribution<double> jitter(0.0, spec_.gain_jitter_db);
-  measured += jitter(rng_) + gain_drift_db_;
+  measured += jitter(rng) + gain_drift_db_;
   if (spec_.impulse_probability > 0.0) {
     std::bernoulli_distribution hit(spec_.impulse_probability);
-    if (hit(rng_)) {
+    if (hit(rng)) {
       std::exponential_distribution<double> spike(1.0 /
                                                   spec_.impulse_mean_db);
-      measured += spike(rng_);
+      measured += spike(rng);
     }
   }
   return measured;
@@ -80,7 +82,7 @@ double Sensor::measured_pilot_band_dbm(double signal_pilot_dbm) {
 
 double Sensor::measure_wired_raw(double input_dbm) {
   // A wired CW lands entirely in the pilot band.
-  const double measured = measured_pilot_band_dbm(input_dbm);
+  const double measured = measured_pilot_band_dbm(input_dbm, rng_);
   double raw = spec_.raw_slope * measured + spec_.raw_offset_db;
   if (spec_.quantization_db > 0.0) {
     raw = std::round(raw / spec_.quantization_db) * spec_.quantization_db;
@@ -89,6 +91,17 @@ double Sensor::measure_wired_raw(double input_dbm) {
 }
 
 SensorReading Sensor::sense_channel(double channel_power_dbm) {
+  return sense_channel_with(channel_power_dbm, rng_);
+}
+
+SensorReading Sensor::sense_channel(double channel_power_dbm,
+                                    std::uint64_t stream_id) const {
+  std::mt19937_64 rng(runtime::split_seed(seed_, stream_id));
+  return sense_channel_with(channel_power_dbm, rng);
+}
+
+SensorReading Sensor::sense_channel_with(double channel_power_dbm,
+                                         std::mt19937_64& rng) const {
   // Pilot-band signal content: the pilot line (11.3 dB below channel power)
   // dominates; the sliver of data spectrum inside the pilot band is ~23 dB
   // below channel power and is included for completeness.
@@ -101,7 +114,7 @@ SensorReading Sensor::sense_channel(double channel_power_dbm) {
   const double signal_dbm = rf::add_dbm(pilot_dbm, data_in_band_dbm);
 
   SensorReading out;
-  const double measured = measured_pilot_band_dbm(signal_dbm);
+  const double measured = measured_pilot_band_dbm(signal_dbm, rng);
   double raw = spec_.raw_slope * measured + spec_.raw_offset_db;
   if (spec_.quantization_db > 0.0) {
     raw = std::round(raw / spec_.quantization_db) * spec_.quantization_db;
@@ -114,7 +127,7 @@ SensorReading Sensor::sense_channel(double channel_power_dbm) {
       spec_.pilot_floor_dbm +
       rf::ratio_to_db(static_cast<double>(capture_.num_samples) / 3.0);
   out.iq = dsp::synthesize_capture(capture_, channel_power_dbm,
-                                   capture_noise_dbm, rng_);
+                                   capture_noise_dbm, rng);
   return out;
 }
 

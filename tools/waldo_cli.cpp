@@ -3,6 +3,12 @@
 //   waldo simulate --out DIR [--readings N] [--channels 15,46] [--seed S]
 //       Run the synthetic three-sensor measurement campaign and write one
 //       CSV sweep per (channel, sensor).
+//
+// Global flags (any command):
+//   --threads N   worker threads for the parallel stages (0 = all hardware
+//                 threads, 1 = serial; results are identical either way —
+//                 see docs/CONCURRENCY.md)
+//   --timings 1   print the per-stage wall-clock report before exiting
 //   waldo label --in sweep.csv [--threshold -84] [--separation 6000]
 //       [--correction 0]
 //       Apply Algorithm 1 to a sweep and print the occupancy summary.
@@ -34,6 +40,8 @@
 #include "waldo/core/model_constructor.hpp"
 #include "waldo/ml/metrics.hpp"
 #include "waldo/rf/environment.hpp"
+#include "waldo/runtime/stage_timer.hpp"
+#include "waldo/runtime/thread_pool.hpp"
 #include "waldo/sensors/sensor.hpp"
 
 namespace {
@@ -70,16 +78,28 @@ class Args {
   }
   [[nodiscard]] double num(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    return it == values_.end() ? fallback : parse_num(key, it->second);
   }
   [[nodiscard]] std::optional<double> maybe_num(
       const std::string& key) const {
     const auto it = values_.find(key);
     if (it == values_.end()) return std::nullopt;
-    return std::stod(it->second);
+    return parse_num(key, it->second);
   }
 
  private:
+  static double parse_num(const std::string& key, const std::string& value) {
+    try {
+      std::size_t consumed = 0;
+      const double parsed = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("invalid number for --" + key + ": '" +
+                                  value + "'");
+    }
+  }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -89,6 +109,15 @@ std::vector<int> parse_channels(const std::string& list) {
   std::string token;
   while (std::getline(ss, token, ',')) out.push_back(std::stoi(token));
   return out;
+}
+
+/// The --threads knob shared by every command (0 = all hardware threads).
+unsigned threads_from(const Args& args) {
+  const double requested = args.num("threads", 0);
+  if (requested < 0) {
+    throw std::invalid_argument("--threads must be >= 0");
+  }
+  return static_cast<unsigned>(requested);
 }
 
 int cmd_simulate(const Args& args) {
@@ -122,10 +151,12 @@ int cmd_simulate(const Args& args) {
   for (Unit& u : units) {
     if (!u.sensor.calibration().has_value()) u.sensor.calibrate();
   }
+  campaign::CollectOptions collect;
+  collect.threads = threads_from(args);
   for (const int ch : channels) {
     for (Unit& u : units) {
-      const auto sweep =
-          campaign::collect_channel(world, u.sensor, ch, route.readings);
+      const auto sweep = campaign::collect_channel(world, u.sensor, ch,
+                                                   route.readings, collect);
       const std::string path = out_dir + "/ch" + std::to_string(ch) + "_" +
                                u.tag + ".csv";
       campaign::write_csv_file(path, sweep);
@@ -168,6 +199,7 @@ int cmd_train(const Args& args) {
       static_cast<std::size_t>(args.num("localities", 3));
   cfg.max_train_samples =
       static_cast<std::size_t>(args.num("max-train", 800));
+  cfg.threads = threads_from(args);
   const core::WhiteSpaceModel model =
       core::ModelConstructor(cfg).build_with_labeling(ds,
                                                       labeling_from(args));
@@ -276,14 +308,30 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "label") return cmd_label(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "map") return cmd_map(args);
-    if (command == "info") return cmd_info(args);
-    usage();
-    return 1;
+    int rc = 1;
+    if (command == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (command == "label") {
+      rc = cmd_label(args);
+    } else if (command == "train") {
+      rc = cmd_train(args);
+    } else if (command == "predict") {
+      rc = cmd_predict(args);
+    } else if (command == "map") {
+      rc = cmd_map(args);
+    } else if (command == "info") {
+      rc = cmd_info(args);
+    } else {
+      usage();
+      return 1;
+    }
+    if (args.num("timings", 0) != 0) {
+      const std::string report = runtime::StageTimer::global().report();
+      std::printf("\nstage timings (%u hardware threads):\n%s",
+                  runtime::hardware_threads(),
+                  report.empty() ? "(no stages recorded)\n" : report.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "waldo %s: %s\n", command.c_str(), e.what());
     return 1;
