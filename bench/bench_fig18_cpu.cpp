@@ -13,7 +13,8 @@
 
 using namespace waldo;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   std::printf("Figure 18 — CPU overhead of the Waldo app\n");
   bench::Campaign campaign(1200);
 
@@ -74,5 +75,14 @@ int main() {
       "\nPaper shape: scanning is bursty — noticeable CPU during the scan,"
       " negligible\nwhen normalised over the FCC-mandated 60 s re-check"
       " period.\n");
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.add_value("busy_time_per_cycle_mean", ml::summarize(busy_times).mean,
+                     "s");
+    report.add_value("cpu_active_mean", ml::summarize(active_cpu).mean,
+                     "percent");
+    report.add_value("cpu_duty_mean", ml::summarize(duty_cpu).mean, "percent");
+    if (!report.write(json_path, "bench_fig18_cpu")) return 1;
+  }
   return 0;
 }

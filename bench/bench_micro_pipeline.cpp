@@ -1,10 +1,15 @@
 // Microbenchmarks (google-benchmark) of the on-device pipeline stages and
 // the offline model-construction stages, plus the pilot-vs-energy detector
 // ablation called out in DESIGN.md.
+//
+// Accepts `--json <path>` (in addition to the standard --benchmark_* flags)
+// to also write the measured ns/item rates as machine-readable JSON — the
+// format archived in BENCH_micro_pipeline.json and uploaded by CI.
 #include <benchmark/benchmark.h>
 
 #include <random>
 
+#include "common.hpp"
 #include "waldo/campaign/labeling.hpp"
 #include "waldo/core/detector.hpp"
 #include "waldo/core/features.hpp"
@@ -78,6 +83,50 @@ void BM_SensorSenseChannel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SensorSenseChannel);
+
+// The full per-reading hot path (capture synthesis -> CFT/AFT features) in
+// its three forms. Legacy allocates per reading and transforms the capture
+// once per feature; Workspace reuses lane-owned scratch and computes one
+// shared power spectrum; FastSpectral additionally skips the ifft -> fft
+// round trip. The committed baseline in BENCH_micro_pipeline.json records
+// the pre-plan-cache numbers these are compared against.
+void BM_CaptureToFeature_Legacy(benchmark::State& state) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 3);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    const sensors::SensorReading r = rtl.sense_channel(-75.0, stream++);
+    const core::SpectralFeatures f = core::extract_spectral_features(r.iq);
+    benchmark::DoNotOptimize(r.raw + f.cft_db + f.aft_db);
+  }
+}
+BENCHMARK(BM_CaptureToFeature_Legacy);
+
+void BM_CaptureToFeature_Workspace(benchmark::State& state) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 3);
+  dsp::CaptureWorkspace ws;
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    const double raw = rtl.sense_channel_into(-75.0, stream++, ws);
+    const core::SpectralFeatures f =
+        core::extract_spectral_features(ws.time, ws);
+    benchmark::DoNotOptimize(raw + f.cft_db + f.aft_db);
+  }
+}
+BENCHMARK(BM_CaptureToFeature_Workspace);
+
+void BM_CaptureToFeature_FastSpectral(benchmark::State& state) {
+  sensors::Sensor rtl(sensors::rtl_sdr_spec(), 3);
+  dsp::CaptureWorkspace ws;
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    const double raw =
+        rtl.sense_channel_into(-75.0, stream++, ws, /*spectrum_only=*/true);
+    const core::SpectralFeatures f =
+        core::spectral_features_from_spectrum(ws.shifted);
+    benchmark::DoNotOptimize(raw + f.cft_db + f.aft_db);
+  }
+}
+BENCHMARK(BM_CaptureToFeature_FastSpectral);
 
 void make_training(std::size_t n, ml::Matrix& x, std::vector<int>& y) {
   std::mt19937_64 rng(4);
@@ -184,6 +233,36 @@ void BM_ConvergenceFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvergenceFilter);
 
+/// Console output as usual, plus every finished run captured for --json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(bench::JsonReport* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (!run.error_occurred) {
+        out_->add_rate(run.benchmark_name(), run.GetAdjustedRealTime());
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonReport* out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::JsonReport report;
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() &&
+      !report.write(json_path, "bench_micro_pipeline")) {
+    return 1;
+  }
+  return 0;
+}

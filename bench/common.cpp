@@ -1,7 +1,11 @@
 #include "common.hpp"
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "waldo/ml/svm.hpp"
 
@@ -180,6 +184,101 @@ std::string fmt(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;
+}
+
+void JsonReport::add_rate(const std::string& name, double ns_per_item) {
+  records_.push_back(BenchRecord{
+      .name = name,
+      .value = ns_per_item,
+      .unit = "ns/item",
+      .items_per_second = ns_per_item > 0.0 ? 1e9 / ns_per_item : 0.0});
+}
+
+void JsonReport::add_value(const std::string& name, double value,
+                           const std::string& unit) {
+  records_.push_back(BenchRecord{.name = name, .value = value, .unit = unit});
+}
+
+namespace {
+
+/// Minimal JSON string escape (names here are benchmark identifiers, but
+/// stay correct for arbitrary input).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool JsonReport::write(const std::string& path,
+                       const std::string& bench_name) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+      << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    char buf[256];
+    if (r.items_per_second > 0.0) {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": "
+                    "\"%s\", \"items_per_second\": %.6g}%s\n",
+                    json_escape(r.name).c_str(), r.value,
+                    json_escape(r.unit).c_str(), r.items_per_second,
+                    i + 1 < records_.size() ? "," : "");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": "
+                    "\"%s\"}%s\n",
+                    json_escape(r.name).c_str(), r.value,
+                    json_escape(r.unit).c_str(),
+                    i + 1 < records_.size() ? "," : "");
+    }
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+std::string json_path_from_args(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      const std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
+long peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss * 1024;  // Linux reports kilobytes
 }
 
 }  // namespace waldo::bench

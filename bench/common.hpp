@@ -109,4 +109,36 @@ void print_title(const std::string& title);
 void print_row(const std::vector<std::string>& cells, int width = 12);
 [[nodiscard]] std::string fmt(double value, int decimals = 3);
 
+/// Machine-readable bench output. Benches accept `--json <path>` and, when
+/// present, append their results to a JSON document so CI can archive and
+/// diff runs (see BENCH_micro_pipeline.json for the committed baseline).
+struct BenchRecord {
+  std::string name;
+  double value = 0.0;
+  std::string unit;                ///< e.g. "ns/item", "s", "percent"
+  double items_per_second = 0.0;   ///< derived; 0 when not a rate
+};
+
+class JsonReport {
+ public:
+  /// A per-item timing: records ns/item and the derived items/second.
+  void add_rate(const std::string& name, double ns_per_item);
+  /// A free-form scalar metric.
+  void add_value(const std::string& name, double value,
+                 const std::string& unit);
+  /// Writes `{bench, peak_rss_bytes, results: [...]}` to `path`. Returns
+  /// false (and prints to stderr) on I/O failure.
+  bool write(const std::string& path, const std::string& bench_name) const;
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Extracts `--json <path>` from argv (removing both tokens so downstream
+/// parsers never see them). Returns an empty string when the flag is absent.
+[[nodiscard]] std::string json_path_from_args(int& argc, char** argv);
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+[[nodiscard]] long peak_rss_bytes();
+
 }  // namespace waldo::bench

@@ -20,6 +20,13 @@ struct CollectOptions {
   /// reading's sensing noise is seeded from (channel, route index), not
   /// drawn from a shared sequential engine. See docs/CONCURRENCY.md.
   unsigned threads = 0;
+  /// Compute CFT/AFT straight from the synthesized capture spectrum,
+  /// skipping the ifft -> fft round trip. The raw reading (and therefore
+  /// RSS) is bit-identical either way; CFT/AFT agree with the exact path
+  /// within FFT round-trip error (~1e-10 dB, test-enforced at 1e-6 dB).
+  /// Ignored when keep_iq is set — keeping the capture requires the
+  /// inverse transform anyway, so the exact path is used.
+  bool fast_spectral = false;
 };
 
 /// Collects one channel sweep along `route` with `sensor` (which must be

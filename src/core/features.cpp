@@ -38,6 +38,20 @@ SpectralFeatures extract_spectral_features(
                           .aft_db = dsp::central_band_mean_db(capture)};
 }
 
+SpectralFeatures extract_spectral_features(std::span<const dsp::cplx> capture,
+                                           dsp::CaptureWorkspace& ws) {
+  const auto ps = dsp::power_spectrum_shifted_into(capture, ws);
+  return SpectralFeatures{.cft_db = dsp::central_bin_db_from_power(ps),
+                          .aft_db = dsp::central_band_mean_db_from_power(ps)};
+}
+
+SpectralFeatures spectral_features_from_spectrum(
+    std::span<const dsp::cplx> shifted_spectrum) {
+  return SpectralFeatures{
+      .cft_db = dsp::central_bin_db_from_spectrum(shifted_spectrum),
+      .aft_db = dsp::central_band_mean_db_from_spectrum(shifted_spectrum)};
+}
+
 const char* feature_name(int index) {
   switch (index) {
     case 1:

@@ -12,6 +12,7 @@
 
 #include "waldo/campaign/measurement.hpp"
 #include "waldo/dsp/fft.hpp"
+#include "waldo/dsp/iq.hpp"
 #include "waldo/ml/matrix.hpp"
 
 namespace waldo::core {
@@ -44,6 +45,18 @@ struct SpectralFeatures {
 };
 [[nodiscard]] SpectralFeatures extract_spectral_features(
     std::span<const dsp::cplx> capture);
+
+/// Workspace form: one FFT serves both CFT and AFT (the allocating form
+/// transforms the capture twice), reusing `ws`'s scratch buffers.
+/// Bit-identical to the allocating form.
+[[nodiscard]] SpectralFeatures extract_spectral_features(
+    std::span<const dsp::cplx> capture, dsp::CaptureWorkspace& ws);
+
+/// Fast-spectral form: CFT and AFT straight from the synthesized
+/// fftshift-ordered spectrum, skipping the ifft -> fft round trip. Equal
+/// to the exact path within FFT round-trip error (see tests).
+[[nodiscard]] SpectralFeatures spectral_features_from_spectrum(
+    std::span<const dsp::cplx> shifted_spectrum);
 
 /// Human-readable name of the n-th feature (1-based, matching the paper's
 /// "number of features" axis).

@@ -19,10 +19,10 @@ double in_capture_data_fraction(const CaptureConfig& config) noexcept {
   return overlap / config.channel_bandwidth_hz;
 }
 
-std::vector<cplx> synthesize_capture(const CaptureConfig& config,
-                                     double channel_power_dbm,
-                                     double noise_power_dbm,
-                                     std::mt19937_64& rng) {
+void synthesize_capture_into(const CaptureConfig& config,
+                             double channel_power_dbm, double noise_power_dbm,
+                             std::mt19937_64& rng, CaptureWorkspace& ws,
+                             bool spectrum_only) {
   const std::size_t n = config.num_samples;
   if (!is_pow2(n)) throw std::invalid_argument("capture size must be 2^k");
   const double df = config.sample_rate_hz / static_cast<double>(n);
@@ -56,7 +56,8 @@ std::vector<cplx> synthesize_capture(const CaptureConfig& config,
   const double dn = static_cast<double>(n);
 
   // Build the fftshift-ordered spectrum (bin n/2 = capture centre).
-  std::vector<cplx> spec_shifted(n);
+  std::vector<cplx>& spec_shifted = ws.shifted;
+  spec_shifted.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const double f = (static_cast<double>(k) - dn / 2.0) * df;
     double bin_mw = noise_mw_per_bin;
@@ -73,12 +74,22 @@ std::vector<cplx> synthesize_capture(const CaptureConfig& config,
     spec_shifted[kpilot] +=
         dn * std::sqrt(pilot_mw) * cplx(std::cos(phi), std::sin(phi));
   }
+  if (spectrum_only) return;
 
   // Un-shift and inverse transform to time domain.
-  std::vector<cplx> spec(n);
+  std::vector<cplx>& spec = ws.time;
+  spec.resize(n);
   for (std::size_t k = 0; k < n; ++k) spec[(k + n / 2) % n] = spec_shifted[k];
   ifft_inplace(spec);
-  return spec;
+}
+
+std::vector<cplx> synthesize_capture(const CaptureConfig& config,
+                                     double channel_power_dbm,
+                                     double noise_power_dbm,
+                                     std::mt19937_64& rng) {
+  CaptureWorkspace ws;
+  synthesize_capture_into(config, channel_power_dbm, noise_power_dbm, rng, ws);
+  return std::move(ws.time);
 }
 
 }  // namespace waldo::dsp

@@ -37,6 +37,70 @@ Environment::Environment(EnvironmentConfig config,
                             config_.shadowing_decorrelation_m,
                             config_.seed + 1 + i);
   }
+  build_propagation_index();
+}
+
+void Environment::build_propagation_index() {
+  by_channel_.clear();
+  hata_rx_.clear();
+  hata_ref_.clear();
+  hata_rx_.reserve(transmitters_.size());
+  hata_ref_.reserve(transmitters_.size());
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    const Transmitter& tx = transmitters_[i];
+    ChannelTransmitters& entry = by_channel_[tx.channel];
+    entry.indices.push_back(i);
+    entry.pointers.push_back(&tx);
+    const double freq_hz = channel_center_hz(tx.channel);
+    hata_rx_.emplace_back(freq_hz, tx.height_m, config_.rx_height_m);
+    hata_ref_.emplace_back(freq_hz, tx.height_m,
+                           config_.reference_rx_height_m);
+  }
+}
+
+Environment::Environment(const Environment& other)
+    : config_(other.config_),
+      transmitters_(other.transmitters_),
+      obstacles_(other.obstacles_),
+      shadowing_(other.shadowing_),
+      floor_dbm_(other.floor_dbm_) {
+  build_propagation_index();
+}
+
+Environment::Environment(Environment&& other) noexcept
+    : config_(std::move(other.config_)),
+      transmitters_(std::move(other.transmitters_)),
+      obstacles_(std::move(other.obstacles_)),
+      shadowing_(std::move(other.shadowing_)),
+      floor_dbm_(other.floor_dbm_) {
+  // Moving the transmitter vector transfers its heap storage, but rebuild
+  // anyway: it is cheap and keeps the invariant independent of vector
+  // implementation details.
+  build_propagation_index();
+}
+
+Environment& Environment::operator=(const Environment& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    transmitters_ = other.transmitters_;
+    obstacles_ = other.obstacles_;
+    shadowing_ = other.shadowing_;
+    floor_dbm_ = other.floor_dbm_;
+    build_propagation_index();
+  }
+  return *this;
+}
+
+Environment& Environment::operator=(Environment&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    transmitters_ = std::move(other.transmitters_);
+    obstacles_ = std::move(other.obstacles_);
+    shadowing_ = std::move(other.shadowing_);
+    floor_dbm_ = other.floor_dbm_;
+    build_propagation_index();
+  }
+  return *this;
 }
 
 Environment seasonal_variant(const Environment& base,
@@ -49,13 +113,11 @@ Environment seasonal_variant(const Environment& base,
                      ObstacleField(std::move(obstacles)));
 }
 
-std::vector<const Transmitter*> Environment::transmitters_on(
+const std::vector<const Transmitter*>& Environment::transmitters_on(
     int channel) const {
-  std::vector<const Transmitter*> out;
-  for (const Transmitter& tx : transmitters_) {
-    if (tx.channel == channel) out.push_back(&tx);
-  }
-  return out;
+  static const std::vector<const Transmitter*> kNone;
+  const auto it = by_channel_.find(channel);
+  return it == by_channel_.end() ? kNone : it->second.pointers;
 }
 
 double Environment::true_rss_dbm(int channel, const geo::EnuPoint& p) const {
@@ -64,13 +126,27 @@ double Environment::true_rss_dbm(int channel, const geo::EnuPoint& p) const {
 
 double Environment::true_rss_dbm(int channel, const geo::EnuPoint& p,
                                  double rx_height_m) const {
+  const auto it = by_channel_.find(channel);
+  if (it == by_channel_.end()) return floor_dbm_;
+  // The two heights every caller in the codebase uses hit the hoisted
+  // models; exact double equality is intentional — anything else is an
+  // ad-hoc study height and constructs its model on the fly.
+  const std::vector<HataUrbanModel>* hoisted = nullptr;
+  if (rx_height_m == config_.rx_height_m) {
+    hoisted = &hata_rx_;
+  } else if (rx_height_m == config_.reference_rx_height_m) {
+    hoisted = &hata_ref_;
+  }
   double total_mw = 0.0;
   const double obstruction_db = obstacles_.attenuation_db(p);
-  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+  // Ascending transmitter order: the same FP sum order as the original
+  // linear scan over all transmitters.
+  for (const std::size_t i : it->second.indices) {
     const Transmitter& tx = transmitters_[i];
-    if (tx.channel != channel) continue;
-    const HataUrbanModel hata(channel_center_hz(channel), tx.height_m,
-                              rx_height_m);
+    const HataUrbanModel hata =
+        hoisted ? (*hoisted)[i]
+                : HataUrbanModel(channel_center_hz(channel), tx.height_m,
+                                 rx_height_m);
     const double d = geo::distance_m(p, tx.location);
     const double rss = tx.erp_dbm - hata.path_loss_db(d) -
                        shadowing_[i].sample_db(p) - obstruction_db;

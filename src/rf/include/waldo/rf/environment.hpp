@@ -71,8 +71,10 @@ class Environment {
   [[nodiscard]] const ObstacleField& obstacles() const noexcept {
     return obstacles_;
   }
-  /// Transmitters broadcasting on `channel`.
-  [[nodiscard]] std::vector<const Transmitter*> transmitters_on(
+  /// Transmitters broadcasting on `channel`, in transmitter-index order.
+  /// Served from an index precomputed at construction — no per-call
+  /// allocation; the reference stays valid for the environment's lifetime.
+  [[nodiscard]] const std::vector<const Transmitter*>& transmitters_on(
       int channel) const;
 
   /// Ground-truth received TV signal power on `channel` at `p` for the
@@ -96,7 +98,19 @@ class Environment {
   [[nodiscard]] bool signal_decodable(int channel,
                                       const geo::EnuPoint& p) const;
 
+  // The channel index and per-transmitter Hata models point into / depend
+  // on transmitters_, so copies rebuild them against their own storage.
+  Environment(const Environment& other);
+  Environment(Environment&& other) noexcept;
+  Environment& operator=(const Environment& other);
+  Environment& operator=(Environment&& other) noexcept;
+  ~Environment() = default;
+
  private:
+  /// Builds by_channel_ and the per-transmitter Hata models. Called from
+  /// every constructor/assignment once transmitters_ is in place.
+  void build_propagation_index();
+
   EnvironmentConfig config_;
   std::vector<Transmitter> transmitters_;
   ObstacleField obstacles_;
@@ -104,6 +118,21 @@ class Environment {
   /// relate), keyed by transmitter index.
   std::vector<ShadowingField> shadowing_;
   double floor_dbm_ = -200.0;
+
+  /// Per-channel transmitter index, ascending transmitter order — the sum
+  /// order of true_rss_dbm is unchanged from the original linear scan.
+  struct ChannelTransmitters {
+    std::vector<std::size_t> indices;
+    std::vector<const Transmitter*> pointers;
+  };
+  std::map<int, ChannelTransmitters> by_channel_;
+  /// Hoisted Hata state per transmitter at the two heights every query in
+  /// the codebase uses: the campaign rx height and the regulatory reference
+  /// height. Identical constructor arguments make these bit-identical to
+  /// the models the old code built per call; arbitrary other heights fall
+  /// back to on-the-fly construction.
+  std::vector<HataUrbanModel> hata_rx_;
+  std::vector<HataUrbanModel> hata_ref_;
 };
 
 /// The "months later" world of the paper's second collection set (Section

@@ -29,6 +29,10 @@ class FreeSpaceModel final : public PathLossModel {
 
 /// Hata's empirical urban model (valid 150-1500 MHz; we clamp frequency at
 /// the upper edge for high UHF channels, a standard engineering extension).
+/// The distance-independent part of the loss (frequency, tower-height, and
+/// antenna-correction terms) is hoisted into the constructor — evaluated
+/// with the same expression order as the former per-call formula, so
+/// path_loss_db is bit-identical — leaving one log10 per query.
 class HataUrbanModel final : public PathLossModel {
  public:
   HataUrbanModel(double frequency_hz, double tx_height_m,
@@ -44,6 +48,8 @@ class HataUrbanModel final : public PathLossModel {
   double freq_mhz_;
   double tx_height_m_;
   double rx_height_m_;
+  double fixed_db_ = 0.0;  ///< 69.55 + 26.16 lf - 13.82 lhb - a(h_m)
+  double slope_ = 0.0;     ///< 44.9 - 6.55 lhb (dB per decade of distance)
 };
 
 /// Egli's median model for irregular terrain (VHF/UHF).

@@ -24,7 +24,13 @@ HataUrbanModel::HataUrbanModel(double frequency_hz, double tx_height_m,
                                double rx_height_m) noexcept
     : freq_mhz_(std::clamp(frequency_hz / 1e6, 150.0, 1500.0)),
       tx_height_m_(std::clamp(tx_height_m, 30.0, 200.0)),
-      rx_height_m_(std::clamp(rx_height_m, 1.0, 10.0)) {}
+      rx_height_m_(std::clamp(rx_height_m, 1.0, 10.0)) {
+  const double lf = log10_clamped(freq_mhz_);
+  const double lhb = log10_clamped(tx_height_m_);
+  fixed_db_ =
+      69.55 + 26.16 * lf - 13.82 * lhb - antenna_correction_db(rx_height_m_);
+  slope_ = 44.9 - 6.55 * lhb;
+}
 
 double HataUrbanModel::antenna_correction_db(double rx_height_m) {
   const double t = log10_clamped(11.5 * rx_height_m);
@@ -33,10 +39,7 @@ double HataUrbanModel::antenna_correction_db(double rx_height_m) {
 
 double HataUrbanModel::path_loss_db(double distance_m) const {
   const double d_km = std::max(distance_m, kMinDistanceM) / 1000.0;
-  const double lf = log10_clamped(freq_mhz_);
-  const double lhb = log10_clamped(tx_height_m_);
-  return 69.55 + 26.16 * lf - 13.82 * lhb - antenna_correction_db(rx_height_m_) +
-         (44.9 - 6.55 * lhb) * log10_clamped(d_km);
+  return fixed_db_ + slope_ * log10_clamped(d_km);
 }
 
 EgliModel::EgliModel(double frequency_hz, double tx_height_m,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <random>
 #include <stdexcept>
@@ -71,7 +72,65 @@ double ShadowingField::sample_db(const geo::EnuPoint& p) const noexcept {
 }
 
 ObstacleField::ObstacleField(std::vector<Obstacle> obstacles)
-    : obstacles_(std::move(obstacles)) {}
+    : obstacles_(std::move(obstacles)) {
+  build_grid();
+}
+
+void ObstacleField::build_grid() {
+  grid_cells_.clear();
+  grid_nx_ = grid_ny_ = 0;
+  if (obstacles_.empty()) return;
+
+  // The grid covers the union of every influence bounding square; any point
+  // outside it is untouched by every obstacle.
+  double min_e = std::numeric_limits<double>::infinity();
+  double min_n = std::numeric_limits<double>::infinity();
+  double max_e = -std::numeric_limits<double>::infinity();
+  double max_n = -std::numeric_limits<double>::infinity();
+  double max_reach = 0.0;
+  for (const Obstacle& o : obstacles_) {
+    const double reach = o.radius_m + o.taper_m;
+    min_e = std::min(min_e, o.center.east_m - reach);
+    max_e = std::max(max_e, o.center.east_m + reach);
+    min_n = std::min(min_n, o.center.north_m - reach);
+    max_n = std::max(max_n, o.center.north_m + reach);
+    max_reach = std::max(max_reach, reach);
+  }
+  grid_min_east_m_ = min_e;
+  grid_min_north_m_ = min_n;
+  // Cell pitch = the largest influence radius: each obstacle overlaps at
+  // most ~9 cells, and a query examines exactly one cell's bucket.
+  grid_cell_m_ = std::max(max_reach, 1.0);
+  grid_nx_ = static_cast<std::size_t>((max_e - min_e) / grid_cell_m_) + 1;
+  grid_ny_ = static_cast<std::size_t>((max_n - min_n) / grid_cell_m_) + 1;
+  grid_cells_.assign(grid_nx_ * grid_ny_, {});
+
+  // Ascending obstacle order per cell preserves the FP sum order of the
+  // original full scan.
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const Obstacle& o = obstacles_[i];
+    const double reach = o.radius_m + o.taper_m;
+    const auto cell_of = [this](double offset, std::size_t n) {
+      const double f = std::floor(offset / grid_cell_m_);
+      return static_cast<std::size_t>(
+          std::clamp(f, 0.0, static_cast<double>(n - 1)));
+    };
+    const std::size_t x0 =
+        cell_of(o.center.east_m - reach - grid_min_east_m_, grid_nx_);
+    const std::size_t y0 =
+        cell_of(o.center.north_m - reach - grid_min_north_m_, grid_ny_);
+    const std::size_t x1 =
+        cell_of(o.center.east_m + reach - grid_min_east_m_, grid_nx_);
+    const std::size_t y1 =
+        cell_of(o.center.north_m + reach - grid_min_north_m_, grid_ny_);
+    for (std::size_t y = y0; y <= y1; ++y) {
+      for (std::size_t x = x0; x <= x1; ++x) {
+        grid_cells_[y * grid_nx_ + x].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+}
 
 ObstacleField ObstacleField::random(const geo::BoundingBox& region,
                                     std::size_t count, double min_radius_m,
@@ -95,8 +154,21 @@ ObstacleField ObstacleField::random(const geo::BoundingBox& region,
 }
 
 double ObstacleField::attenuation_db(const geo::EnuPoint& p) const noexcept {
+  if (grid_cells_.empty()) return 0.0;
+  const double fx = (p.east_m - grid_min_east_m_) / grid_cell_m_;
+  const double fy = (p.north_m - grid_min_north_m_) / grid_cell_m_;
+  if (fx < 0.0 || fy < 0.0 || fx >= static_cast<double>(grid_nx_) ||
+      fy >= static_cast<double>(grid_ny_)) {
+    return 0.0;  // outside every influence bounding square
+  }
+  const auto ix = static_cast<std::size_t>(fx);
+  const auto iy = static_cast<std::size_t>(fy);
   double total = 0.0;
-  for (const Obstacle& o : obstacles_) {
+  // The bucket holds (in ascending obstacle order) every obstacle whose
+  // influence can reach this cell, so the distance tests below admit the
+  // same terms in the same order as a scan over every obstacle.
+  for (const std::uint32_t idx : grid_cells_[iy * grid_nx_ + ix]) {
+    const Obstacle& o = obstacles_[idx];
     const double d = geo::distance_m(p, o.center);
     if (d <= o.radius_m) {
       total += o.attenuation_db;

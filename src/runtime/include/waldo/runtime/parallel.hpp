@@ -29,6 +29,22 @@ namespace waldo::runtime {
 void parallel_for(std::size_t count, unsigned threads,
                   const std::function<void(std::size_t)>& body);
 
+/// Number of lanes parallel_for_lanes will use for a (count, threads)
+/// request: callers size per-lane scratch (workspaces, arenas) with this
+/// before launching. Always >= 1.
+[[nodiscard]] std::size_t parallel_lane_count(std::size_t count,
+                                              unsigned threads) noexcept;
+
+/// Lane-aware variant: body(lane, i) with lane < parallel_lane_count(count,
+/// threads). Each lane value is owned by exactly one executor for the whole
+/// call, so lane-indexed scratch buffers need no synchronisation — the
+/// workspace-ownership pattern of docs/CONCURRENCY.md. Same coverage,
+/// ordering, and exception semantics as parallel_for; the serial path
+/// (1 lane) runs in index order on the calling thread with lane 0.
+void parallel_for_lanes(
+    std::size_t count, unsigned threads,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 /// Maps fn over [0, count) into a vector, preserving index order. The
 /// result type must be default-constructible and move-assignable.
 template <typename F>

@@ -80,19 +80,27 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& body) {
+std::size_t parallel_lane_count(std::size_t count, unsigned threads) noexcept {
+  if (count == 0) return 1;
+  const unsigned want = resolve_threads(threads);
+  if (want <= 1 || count == 1 || ThreadPool::on_worker_thread()) return 1;
+  return std::min<std::size_t>(count, want);
+}
+
+void parallel_for_lanes(
+    std::size_t count, unsigned threads,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
   const unsigned want = resolve_threads(threads);
   if (want <= 1 || count == 1 || ThreadPool::on_worker_thread()) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
     return;
   }
 
   struct SharedState {
     std::atomic<std::size_t> next{0};
     std::size_t count = 0;
-    const std::function<void(std::size_t)>* body = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::mutex mutex;
     std::condition_variable done;
     std::size_t active = 0;
@@ -104,10 +112,10 @@ void parallel_for(std::size_t count, unsigned threads,
   state->count = count;
   state->body = &body;
 
-  const auto drain = [](SharedState& s) {
+  const auto drain = [](SharedState& s, std::size_t lane) {
     for (std::size_t i; (i = s.next.fetch_add(1)) < s.count;) {
       try {
-        (*s.body)(i);
+        (*s.body)(lane, i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(s.mutex);
         if (!s.error) s.error = std::current_exception();
@@ -128,22 +136,27 @@ void parallel_for(std::size_t count, unsigned threads,
     const std::lock_guard<std::mutex> lock(state->mutex);
     state->active = helpers + extra;
   }
-  const auto run_and_retire = [state, drain] {
-    drain(*state);
+  // The caller is lane 0; helpers and ephemerals take 1..lanes-1. A lane
+  // number is owned by its executor for the whole call — that is what lets
+  // callers hand each lane its own scratch workspace.
+  const auto run_and_retire = [state, drain](std::size_t lane) {
+    drain(*state, lane);
     const std::lock_guard<std::mutex> lock(state->mutex);
     if (--state->active == 0) state->done.notify_all();
   };
-  for (std::size_t h = 0; h < helpers; ++h) pool.submit(run_and_retire);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([run_and_retire, lane = h + 1] { run_and_retire(lane); });
+  }
   std::vector<std::thread> ephemeral;
   ephemeral.reserve(extra);
   for (std::size_t e = 0; e < extra; ++e) {
-    ephemeral.emplace_back([run_and_retire] {
+    ephemeral.emplace_back([run_and_retire, lane = helpers + 1 + e] {
       t_on_worker_thread = true;
-      run_and_retire();
+      run_and_retire(lane);
     });
   }
 
-  drain(*state);
+  drain(*state, 0);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(state->mutex);
@@ -152,6 +165,12 @@ void parallel_for(std::size_t count, unsigned threads,
   }
   for (std::thread& t : ephemeral) t.join();
   if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_lanes(count, threads,
+                     [&body](std::size_t, std::size_t i) { body(i); });
 }
 
 }  // namespace waldo::runtime

@@ -85,6 +85,18 @@ class Sensor {
   [[nodiscard]] SensorReading sense_channel(double channel_power_dbm,
                                             std::uint64_t stream_id) const;
 
+  /// Allocation-free stream-seeded measurement: the raw reading is
+  /// returned and the capture lands in `ws` (ws.time holds the I/Q
+  /// samples; ws.shifted the synthesis spectrum). Bit-identical to
+  /// sense_channel(power, stream_id) — same draws, same arithmetic — but
+  /// reuses the workspace's buffers, so the steady state performs zero
+  /// heap allocation per reading. With `spectrum_only` the inverse
+  /// transform is skipped and only ws.shifted is valid (the
+  /// --fast-spectral path); the raw reading is unaffected either way.
+  double sense_channel_into(double channel_power_dbm, std::uint64_t stream_id,
+                            dsp::CaptureWorkspace& ws,
+                            bool spectrum_only = false) const;
+
   void set_calibration(const LinearCalibration& cal) noexcept {
     calibration_ = cal;
   }
@@ -122,6 +134,11 @@ class Sensor {
   /// Shared implementation of both sense_channel overloads.
   [[nodiscard]] SensorReading sense_channel_with(double channel_power_dbm,
                                                  std::mt19937_64& rng) const;
+
+  /// Core of every sense path: raw reading plus capture synthesis into a
+  /// workspace.
+  double sense_channel_ws(double channel_power_dbm, std::mt19937_64& rng,
+                          dsp::CaptureWorkspace& ws, bool spectrum_only) const;
 
   SensorSpec spec_;
   dsp::CaptureConfig capture_;

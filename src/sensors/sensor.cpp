@@ -100,8 +100,18 @@ SensorReading Sensor::sense_channel(double channel_power_dbm,
   return sense_channel_with(channel_power_dbm, rng);
 }
 
-SensorReading Sensor::sense_channel_with(double channel_power_dbm,
-                                         std::mt19937_64& rng) const {
+double Sensor::sense_channel_into(double channel_power_dbm,
+                                  std::uint64_t stream_id,
+                                  dsp::CaptureWorkspace& ws,
+                                  bool spectrum_only) const {
+  std::mt19937_64 rng(runtime::split_seed(seed_, stream_id));
+  return sense_channel_ws(channel_power_dbm, rng, ws, spectrum_only);
+}
+
+double Sensor::sense_channel_ws(double channel_power_dbm,
+                                std::mt19937_64& rng,
+                                dsp::CaptureWorkspace& ws,
+                                bool spectrum_only) const {
   // Pilot-band signal content: the pilot line (11.3 dB below channel power)
   // dominates; the sliver of data spectrum inside the pilot band is ~23 dB
   // below channel power and is included for completeness.
@@ -113,21 +123,29 @@ SensorReading Sensor::sense_channel_with(double channel_power_dbm,
       rf::ratio_to_db(pilot_band_hz / capture_.channel_bandwidth_hz);
   const double signal_dbm = rf::add_dbm(pilot_dbm, data_in_band_dbm);
 
-  SensorReading out;
   const double measured = measured_pilot_band_dbm(signal_dbm, rng);
   double raw = spec_.raw_slope * measured + spec_.raw_offset_db;
   if (spec_.quantization_db > 0.0) {
     raw = std::round(raw / spec_.quantization_db) * spec_.quantization_db;
   }
-  out.raw = raw;
 
   // The capture carries the device's own noise floor spread over the full
   // tuner bandwidth (floor is per pilot band of 3 bins).
   const double capture_noise_dbm =
       spec_.pilot_floor_dbm +
       rf::ratio_to_db(static_cast<double>(capture_.num_samples) / 3.0);
-  out.iq = dsp::synthesize_capture(capture_, channel_power_dbm,
-                                   capture_noise_dbm, rng);
+  dsp::synthesize_capture_into(capture_, channel_power_dbm, capture_noise_dbm,
+                               rng, ws, spectrum_only);
+  return raw;
+}
+
+SensorReading Sensor::sense_channel_with(double channel_power_dbm,
+                                         std::mt19937_64& rng) const {
+  dsp::CaptureWorkspace ws;
+  SensorReading out;
+  out.raw = sense_channel_ws(channel_power_dbm, rng, ws,
+                             /*spectrum_only=*/false);
+  out.iq = std::move(ws.time);
   return out;
 }
 

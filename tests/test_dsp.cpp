@@ -268,5 +268,120 @@ TEST(Detectors, PilotBinsValidation) {
   EXPECT_NO_THROW((void)pilot_band_power_dbm(capture, 5));
 }
 
+// The memoized plan must reproduce the direct transform bit for bit — the
+// whole determinism contract of the spectral hot path hangs on it.
+TEST(FftPlan, BitIdenticalToReferenceAcrossSizes) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (std::size_t n = 2; n <= (1u << 14); n <<= 1) {
+    std::vector<cplx> x(n);
+    for (auto& v : x) v = cplx{g(rng), g(rng)};
+    for (const bool inverse : {false, true}) {
+      std::vector<cplx> planned = x;
+      std::vector<cplx> direct = x;
+      if (inverse) {
+        ifft_inplace(planned);
+      } else {
+        fft_inplace(planned);
+      }
+      reference_transform(direct, inverse);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(planned[i].real(), direct[i].real())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+        ASSERT_EQ(planned[i].imag(), direct[i].imag())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwoAndSizeMismatch) {
+  EXPECT_THROW((void)fft_plan(0), std::invalid_argument);
+  EXPECT_THROW((void)fft_plan(24), std::invalid_argument);
+  std::vector<cplx> x(8);
+  EXPECT_THROW(fft_plan(16).forward(x), std::invalid_argument);
+}
+
+// Reusing one workspace across many syntheses must leave every capture
+// byte-identical to the allocating form: same RNG draws, same arithmetic.
+TEST(CaptureWorkspace, SynthesizeIntoMatchesAllocatingForm) {
+  const CaptureConfig cfg;
+  CaptureWorkspace ws;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::mt19937_64 rng_a(100 + rep);
+    std::mt19937_64 rng_b(100 + rep);
+    const std::vector<cplx> fresh =
+        synthesize_capture(cfg, -70.0, -95.0, rng_a);
+    synthesize_capture_into(cfg, -70.0, -95.0, rng_b, ws);
+    ASSERT_EQ(ws.time.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      ASSERT_EQ(ws.time[i].real(), fresh[i].real()) << "rep=" << rep;
+      ASSERT_EQ(ws.time[i].imag(), fresh[i].imag()) << "rep=" << rep;
+    }
+    // RNG consumption is identical, so the engines stay in lockstep.
+    ASSERT_EQ(rng_a(), rng_b()) << "rep=" << rep;
+  }
+}
+
+// spectrum_only must consume the RNG exactly like the full synthesis (the
+// raw reading drawn after it depends on engine position).
+TEST(CaptureWorkspace, SpectrumOnlyConsumesRngIdentically) {
+  const CaptureConfig cfg;
+  std::mt19937_64 rng_full(7);
+  std::mt19937_64 rng_spec(7);
+  CaptureWorkspace ws_full, ws_spec;
+  synthesize_capture_into(cfg, -70.0, -95.0, rng_full, ws_full);
+  synthesize_capture_into(cfg, -70.0, -95.0, rng_spec, ws_spec,
+                          /*spectrum_only=*/true);
+  EXPECT_EQ(rng_full(), rng_spec());
+  ASSERT_EQ(ws_full.shifted.size(), ws_spec.shifted.size());
+  for (std::size_t k = 0; k < ws_full.shifted.size(); ++k) {
+    ASSERT_EQ(ws_full.shifted[k], ws_spec.shifted[k]);
+  }
+}
+
+TEST(CaptureWorkspace, DetectorOverloadsMatchAllocatingForms) {
+  std::mt19937_64 rng(13);
+  const CaptureConfig cfg;
+  CaptureWorkspace ws;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto capture = synthesize_capture(cfg, -72.0, -96.0, rng);
+    EXPECT_EQ(pilot_band_power_dbm(capture), pilot_band_power_dbm(capture, ws));
+    EXPECT_EQ(pilot_detector_dbm(capture), pilot_detector_dbm(capture, ws));
+    EXPECT_EQ(central_bin_db(capture), central_bin_db(capture, ws));
+    EXPECT_EQ(central_band_mean_db(capture),
+              central_band_mean_db(capture, ws));
+    const auto ps = power_spectrum_shifted_into(capture, ws);
+    EXPECT_EQ(central_bin_db(capture), central_bin_db_from_power(ps));
+    EXPECT_EQ(central_band_mean_db(capture),
+              central_band_mean_db_from_power(ps));
+  }
+}
+
+// The fast-spectral path computes CFT/AFT straight from the synthesized
+// spectrum; the exact path takes that spectrum through ifft then fft. The
+// two differ only by FFT round-trip rounding — empirically ~1e-12 dB for
+// 256-point captures; 1e-6 dB is the enforced (generous) bound documented
+// in DESIGN.md.
+TEST(FastSpectral, MatchesExactPathWithinTolerance) {
+  constexpr double kToleranceDb = 1e-6;
+  const CaptureConfig cfg;
+  CaptureWorkspace ws;
+  for (int rep = 0; rep < 20; ++rep) {
+    std::mt19937_64 rng_a(500 + rep);
+    std::mt19937_64 rng_b(500 + rep);
+    synthesize_capture_into(cfg, -70.0 - rep, -95.0, rng_a, ws);
+    const double cft_exact = central_bin_db(ws.time);
+    const double aft_exact = central_band_mean_db(ws.time);
+    CaptureWorkspace ws_spec;
+    synthesize_capture_into(cfg, -70.0 - rep, -95.0, rng_b, ws_spec,
+                            /*spectrum_only=*/true);
+    EXPECT_NEAR(central_bin_db_from_spectrum(ws_spec.shifted), cft_exact,
+                kToleranceDb);
+    EXPECT_NEAR(central_band_mean_db_from_spectrum(ws_spec.shifted), aft_exact,
+                kToleranceDb);
+  }
+}
+
 }  // namespace
 }  // namespace waldo::dsp

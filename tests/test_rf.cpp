@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
+#include <numbers>
 #include <random>
+#include <utility>
 
 #include "waldo/rf/channels.hpp"
 #include "waldo/rf/environment.hpp"
@@ -332,6 +335,109 @@ TEST(Seasonal, VariantKeepsInfrastructureChangesSeason) {
     diff += base.true_rss_dbm(46, q) - later.true_rss_dbm(46, q);
   }
   EXPECT_NEAR(std::abs(diff) / kProbes, 0.0, 1.5);
+}
+
+// The grid-bucketed obstacle query must agree bit for bit with a direct
+// scan over every obstacle — same terms, same FP sum order.
+TEST(ObstacleField, GridMatchesBruteForceBitForBit) {
+  const geo::BoundingBox region{0.0, 0.0, 26'500.0, 26'500.0};
+  const ObstacleField field =
+      ObstacleField::random(region, 40, 600.0, 2'800.0, 12.0, 28.0, 77);
+
+  const auto brute_force = [&field](const geo::EnuPoint& p) {
+    double total = 0.0;
+    for (const Obstacle& o : field.obstacles()) {
+      const double d = geo::distance_m(p, o.center);
+      if (d <= o.radius_m) {
+        total += o.attenuation_db;
+      } else if (d < o.radius_m + o.taper_m) {
+        const double t = (d - o.radius_m) / o.taper_m;
+        total += o.attenuation_db * 0.5 *
+                 (1.0 + std::cos(std::numbers::pi * t));
+      }
+    }
+    return total;
+  };
+
+  std::mt19937_64 rng(78);
+  // Cover well beyond the region so out-of-grid points are exercised too.
+  std::uniform_real_distribution<double> coord(-10'000.0, 36'500.0);
+  for (int i = 0; i < 3000; ++i) {
+    const geo::EnuPoint p{coord(rng), coord(rng)};
+    ASSERT_EQ(field.attenuation_db(p), brute_force(p))
+        << "(" << p.east_m << ", " << p.north_m << ")";
+  }
+  EXPECT_EQ(ObstacleField().attenuation_db({100.0, 100.0}), 0.0);
+}
+
+TEST(Environment, TransmittersOnServedFromIndex) {
+  const Environment env = make_metro_environment();
+  // The index must agree with a direct scan, in transmitter order.
+  for (const int ch : kPaperChannels) {
+    std::vector<const Transmitter*> expected;
+    for (const Transmitter& tx : env.transmitters()) {
+      if (tx.channel == ch) expected.push_back(&tx);
+    }
+    const auto& got = env.transmitters_on(ch);
+    ASSERT_EQ(got.size(), expected.size()) << "channel " << ch;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "channel " << ch;
+    }
+    // Repeated calls serve the same cached vector, not a fresh allocation.
+    EXPECT_EQ(&env.transmitters_on(ch), &got);
+  }
+  EXPECT_TRUE(env.transmitters_on(20).empty());
+}
+
+// Copies and moves must rebuild the channel index against their own
+// transmitter storage (no dangling pointers into the source).
+TEST(Environment, CopyAndMoveRebindTheIndex) {
+  const Environment base = make_metro_environment();
+  const Environment copy = base;  // NOLINT(performance-unnecessary-copy...)
+  for (const Transmitter* tx : copy.transmitters_on(46)) {
+    EXPECT_GE(tx, copy.transmitters().data());
+    EXPECT_LT(tx, copy.transmitters().data() + copy.transmitters().size());
+  }
+  const geo::EnuPoint p{8'000.0, 12'000.0};
+  EXPECT_EQ(copy.true_rss_dbm(46, p), base.true_rss_dbm(46, p));
+
+  Environment moved = std::move(const_cast<Environment&>(copy));
+  for (const Transmitter* tx : moved.transmitters_on(46)) {
+    EXPECT_GE(tx, moved.transmitters().data());
+    EXPECT_LT(tx, moved.transmitters().data() + moved.transmitters().size());
+  }
+  EXPECT_EQ(moved.true_rss_dbm(46, p), base.true_rss_dbm(46, p));
+}
+
+// An arbitrary receiver height (neither the campaign nor the reference
+// height) takes the on-the-fly Hata fallback. It must be deterministic and
+// sit between the two hoisted endpoints (Hata RSS grows with antenna
+// height), confirming the fallback computes the same physics.
+TEST(Environment, ArbitraryHeightFallback) {
+  const Environment env = make_metro_environment();
+  const geo::EnuPoint p{10'000.0, 6'000.0};
+  const double h = 5.5;  // not 2 m, not 10 m
+  EXPECT_EQ(env.true_rss_dbm(46, p, h), env.true_rss_dbm(46, p, h));
+  EXPECT_GT(env.true_rss_dbm(46, p, 10.0), env.true_rss_dbm(46, p, 2.0));
+  const double mid = env.true_rss_dbm(46, p, h);
+  EXPECT_GT(mid, env.true_rss_dbm(46, p, 2.0));
+  EXPECT_LT(mid, env.true_rss_dbm(46, p, 10.0));
+}
+
+// The hoisted Hata constants must not move any value: the model built once
+// and queried many times equals per-call reconstruction.
+TEST(PathLoss, HataHoistedConstantsBitIdentical) {
+  for (const double f_hz : {470e6, 600e6, 700e6}) {
+    for (const double hb : {40.0, 60.0, 150.0}) {
+      for (const double hm : {1.5, 2.0, 5.5, 10.0}) {
+        const HataUrbanModel once(f_hz, hb, hm);
+        for (const double d : {50.0, 1'000.0, 12'345.0, 40'000.0}) {
+          const HataUrbanModel fresh(f_hz, hb, hm);
+          ASSERT_EQ(once.path_loss_db(d), fresh.path_loss_db(d));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

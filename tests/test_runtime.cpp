@@ -96,6 +96,47 @@ TEST(ParallelFor, WorkersAreReusedAcrossCalls) {
   }
 }
 
+TEST(ParallelForLanes, CoversEveryIndexAndBoundsLanes) {
+  const std::size_t lanes = runtime::parallel_lane_count(500, 4);
+  EXPECT_GE(lanes, 1u);
+  EXPECT_LE(lanes, 4u);
+  std::vector<std::atomic<int>> seen(500);
+  std::atomic<bool> lane_out_of_range{false};
+  runtime::parallel_for_lanes(500, 4, [&](std::size_t lane, std::size_t i) {
+    if (lane >= lanes) lane_out_of_range = true;
+    seen[i]++;
+  });
+  EXPECT_FALSE(lane_out_of_range.load());
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ParallelForLanes, EachLaneOwnedByOneExecutorAtATime) {
+  // The workspace contract: two tasks on the same lane never overlap, so
+  // lane-indexed scratch needs no synchronisation. Tripping the in_use
+  // flag from two threads at once would mean the contract is broken.
+  const std::size_t lanes = runtime::parallel_lane_count(2000, 8);
+  std::vector<std::atomic<bool>> in_use(lanes);
+  std::atomic<bool> overlap{false};
+  runtime::parallel_for_lanes(2000, 8, [&](std::size_t lane, std::size_t) {
+    if (in_use[lane].exchange(true)) overlap = true;
+    in_use[lane] = false;
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ParallelForLanes, SerialPathUsesLaneZeroInOrder) {
+  EXPECT_EQ(runtime::parallel_lane_count(100, 1), 1u);
+  EXPECT_EQ(runtime::parallel_lane_count(0, 8), 1u);
+  EXPECT_EQ(runtime::parallel_lane_count(1, 8), 1u);
+  std::vector<std::size_t> order;
+  runtime::parallel_for_lanes(20, 1, [&](std::size_t lane, std::size_t i) {
+    EXPECT_EQ(lane, 0u);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(ParallelMap, PreservesIndexOrder) {
   const auto out = runtime::parallel_map(
       1000, 8, [](std::size_t i) { return i * i; });
