@@ -1,0 +1,165 @@
+// Serving-layer throughput: the concurrent spectrum-database service
+// (waldo::service) under wire-protocol traffic. Measures download
+// throughput at 1 worker and at all hardware workers (the per-channel
+// shared_mutex sharding should scale reads near-linearly on multi-core
+// hosts), plus a mixed download/upload workload and the upload path alone.
+// Emits `--json` records including the host's hardware thread count — the
+// committed BENCH_service.json baseline was produced on the 1-core
+// reference container, so regenerate it on real hardware to see scaling.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "waldo/core/protocol.hpp"
+#include "waldo/runtime/seed.hpp"
+#include "waldo/runtime/thread_pool.hpp"
+#include "waldo/service/frontend.hpp"
+#include "waldo/service/service.hpp"
+
+using namespace waldo;
+
+namespace {
+
+constexpr int kChannels[] = {15, 46};
+constexpr std::size_t kRequests = 6'000;
+
+core::ModelConstructorConfig fast_config() {
+  core::ModelConstructorConfig mc;
+  mc.classifier = "naive_bayes";
+  mc.num_features = 2;
+  mc.num_localities = 3;
+  return mc;
+}
+
+core::UploadPolicy serving_policy() {
+  core::UploadPolicy policy;
+  policy.rebuild_threshold = 25;
+  return policy;
+}
+
+/// Builds `n` upload-request wires drawn from the campaign sweeps.
+std::vector<std::string> upload_wires(bench::Campaign& campaign,
+                                      std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jitter(-40.0, 40.0);
+  std::vector<std::string> wires;
+  wires.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int channel = kChannels[rng() % 2];
+    const campaign::ChannelDataset& sweep =
+        campaign.dataset(bench::SensorKind::kUsrpB200, channel);
+    std::uniform_int_distribution<std::size_t> pick(0, sweep.size() - 1);
+    core::UploadRequest up;
+    up.channel = channel;
+    up.contributor = "bench" + std::to_string(i % 7);
+    for (int r = 0; r < 3; ++r) {
+      campaign::Measurement m = sweep.readings[pick(rng)];
+      m.position.east_m += jitter(rng);
+      m.position.north_m += jitter(rng);
+      m.iq.clear();
+      up.readings.push_back(std::move(m));
+    }
+    wires.push_back(core::encode(up));
+  }
+  return wires;
+}
+
+std::vector<std::string> download_wires(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::string> wires;
+  wires.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wires.push_back(
+        core::encode(core::ModelRequest{.channel = kChannels[rng() % 2]}));
+  }
+  return wires;
+}
+
+/// Fresh bootstrapped service; models pre-warmed so the measured section
+/// serves from cache (the steady serving state).
+void bootstrap(bench::Campaign& campaign, service::SpectrumService& service) {
+  for (const int channel : kChannels) {
+    service.ingest_campaign(
+        campaign.dataset(bench::SensorKind::kUsrpB200, channel));
+  }
+  for (const int channel : kChannels) (void)service.model(channel);
+}
+
+/// Drives every wire through a frontend; returns wall-clock ns per request.
+double drive(service::ServiceFrontend& frontend,
+             const std::vector<std::string>& wires) {
+  std::vector<std::future<std::string>> replies;
+  replies.reserve(wires.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& wire : wires) {
+    replies.push_back(frontend.submit(wire));
+  }
+  for (auto& reply : replies) (void)reply.get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(wires.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const unsigned hw = runtime::hardware_threads();
+  std::printf("Serving-layer throughput — %u hardware thread(s)\n", hw);
+  bench::Campaign campaign(900);
+  bench::JsonReport report;
+  report.add_value("hardware_threads", hw, "threads");
+
+  const std::vector<std::string> downloads = download_wires(kRequests, 3);
+  double serial_download_ns = 0.0;
+
+  bench::print_row({"workload", "workers", "ns/req", "req/s"}, 20);
+  const auto run = [&](const std::string& name,
+                       const std::vector<std::string>& wires,
+                       unsigned workers) {
+    service::SpectrumService service(fast_config(), {}, serving_policy());
+    bootstrap(campaign, service);
+    service::ServiceFrontend frontend(service, workers);
+    const double ns = drive(frontend, wires);
+    bench::print_row({name, std::to_string(frontend.workers()),
+                      bench::fmt(ns, 0), bench::fmt(1e9 / ns, 0)},
+                     20);
+    report.add_rate(name, ns);
+    return ns;
+  };
+
+  serial_download_ns = run("download_serial", downloads, 1);
+  const double parallel_download_ns =
+      run("download_" + std::to_string(hw) + "workers", downloads, 0);
+  report.add_value("download_speedup",
+                   serial_download_ns / parallel_download_ns, "x");
+
+  // Mixed traffic: mostly downloads with a steady trickle of uploads and
+  // the occasional hostile frame — the serving layer's real steady state.
+  {
+    std::vector<std::string> mixed = download_wires(kRequests * 85 / 100, 5);
+    const std::vector<std::string> ups =
+        upload_wires(campaign, kRequests * 10 / 100, 7);
+    mixed.insert(mixed.end(), ups.begin(), ups.end());
+    for (std::size_t i = 0; i < kRequests * 5 / 100; ++i) {
+      mixed.push_back("WSNP/1 model_request 12\n15 0 0 junk\n");
+    }
+    std::mt19937_64 rng(runtime::split_seed(11, 0));
+    std::shuffle(mixed.begin(), mixed.end(), rng);
+    (void)run("mixed_85_10_5", mixed, 0);
+  }
+
+  (void)run("upload", upload_wires(campaign, kRequests / 4, 9), 0);
+
+  if (!json_path.empty() && !report.write(json_path, "service")) return 1;
+  std::printf("\npeak rss: %.1f MiB\n",
+              static_cast<double>(bench::peak_rss_bytes()) / (1024 * 1024));
+  return 0;
+}

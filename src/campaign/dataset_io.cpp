@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,7 +12,10 @@ void write_csv(std::ostream& out, const ChannelDataset& dataset) {
   out << "# waldo-dataset v1 channel=" << dataset.channel
       << " sensor=" << dataset.sensor_name << "\n";
   out << "east_m,north_m,raw,rss_dbm,cft_db,aft_db,true_rss_dbm\n";
-  out << std::setprecision(12);
+  // max_digits10 (17) is the round-trip guarantee: 12 significant digits
+  // silently perturb doubles on write→read, breaking the repo's
+  // bit-identical golden-hash contracts.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const Measurement& m : dataset.readings) {
     out << m.position.east_m << ',' << m.position.north_m << ',' << m.raw
         << ',' << m.rss_dbm << ',' << m.cft_db << ',' << m.aft_db << ','
@@ -46,10 +50,23 @@ ChannelDataset read_csv(std::istream& in) {
     if (line.empty()) continue;
     std::istringstream row(line);
     Measurement m;
-    char comma = ',';
-    if (!(row >> m.position.east_m >> comma >> m.position.north_m >> comma >>
-          m.raw >> comma >> m.rss_dbm >> comma >> m.cft_db >> comma >>
-          m.aft_db >> comma >> m.true_rss_dbm)) {
+    // Each separator must actually be a comma — extracting into a char
+    // accepts any byte, which would silently misparse rows written with
+    // the wrong delimiter (or shifted columns).
+    const auto comma_then = [&row](double& value) {
+      char separator = '\0';
+      return static_cast<bool>(row >> separator) && separator == ',' &&
+             static_cast<bool>(row >> value);
+    };
+    bool ok = static_cast<bool>(row >> m.position.east_m);
+    ok = ok && comma_then(m.position.north_m) && comma_then(m.raw) &&
+         comma_then(m.rss_dbm) && comma_then(m.cft_db) &&
+         comma_then(m.aft_db) && comma_then(m.true_rss_dbm);
+    if (ok) {
+      char stray = '\0';
+      ok = !(row >> stray);  // no trailing junk after the last column
+    }
+    if (!ok) {
       throw std::runtime_error("malformed dataset row: " + line);
     }
     ds.readings.push_back(m);

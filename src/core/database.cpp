@@ -9,6 +9,77 @@
 
 namespace waldo::core {
 
+UploadResult screen_upload(const campaign::ChannelDataset& stored,
+                           std::vector<PendingReading>& pending,
+                           const UploadPolicy& policy,
+                           std::span<const campaign::Measurement> readings,
+                           const std::string& contributor,
+                           std::vector<campaign::Measurement>& accepted) {
+  UploadResult result;
+  if (readings.empty()) return result;
+
+  // Correlation check against the stored neighbourhood (Section 3.4 /
+  // secure collaborative sensing): an upload deviating wildly from what
+  // nearby trusted readings saw is rejected; an upload nobody can vouch
+  // for is held pending until independently corroborated.
+  const geo::GridIndex index(stored.positions(),
+                             std::max(50.0, policy.neighbourhood_m));
+  const std::vector<double> stored_rss = stored.rss_values();
+
+  for (const campaign::Measurement& m : readings) {
+    const std::vector<std::size_t> nearby =
+        index.query_radius(m.position, policy.neighbourhood_m);
+    if (nearby.size() >= policy.min_neighbours) {
+      std::vector<double> neighbour_rss;
+      neighbour_rss.reserve(nearby.size());
+      for (const std::size_t j : nearby) {
+        neighbour_rss.push_back(stored_rss[j]);
+      }
+      const double median = ml::quantile(neighbour_rss, 0.5);
+      if (std::abs(m.rss_dbm - median) > policy.max_deviation_db) {
+        ++result.rejected;
+      } else {
+        accepted.push_back(m);
+        ++result.accepted;
+      }
+      continue;
+    }
+
+    // Unexplored territory: look for corroborating pending readings from
+    // other contributors.
+    std::vector<std::size_t> corroborators;
+    std::size_t distinct = 1;  // this contributor
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      const PendingReading& pr = pending[p];
+      if (geo::distance_m(pr.measurement.position, m.position) >
+          policy.corroboration_m) {
+        continue;
+      }
+      if (std::abs(pr.measurement.rss_dbm - m.rss_dbm) >
+          policy.max_deviation_db) {
+        continue;
+      }
+      corroborators.push_back(p);
+      if (pr.contributor != contributor) ++distinct;
+    }
+    if (distinct >= policy.min_corroborators) {
+      // Promote the agreeing cluster plus this reading.
+      accepted.push_back(m);
+      ++result.accepted;
+      for (auto rit = corroborators.rbegin(); rit != corroborators.rend();
+           ++rit) {
+        accepted.push_back(pending[*rit].measurement);
+        ++result.accepted;  // promoted into the trusted store now
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(*rit));
+      }
+    } else {
+      pending.push_back(PendingReading{m, contributor});
+      ++result.pending;
+    }
+  }
+  return result;
+}
+
 SpectrumDatabase::SpectrumDatabase(ModelConstructorConfig constructor_config,
                                    campaign::LabelingConfig labeling,
                                    UploadPolicy upload_policy)
@@ -31,6 +102,7 @@ void SpectrumDatabase::ingest_campaign(campaign::ChannelDataset dataset) {
                     std::make_move_iterator(dataset.readings.end()));
   }
   model_cache_.erase(channel);
+  accepted_since_build_[channel] = 0;
 }
 
 bool SpectrumDatabase::has_channel(int channel) const noexcept {
@@ -64,6 +136,8 @@ const WhiteSpaceModel& SpectrumDatabase::model(int channel) {
   WhiteSpaceModel m =
       constructor.build_with_labeling(dataset(channel), labeling_);
   ++stats_.models_built;
+  // The fresh build folds in every accepted reading: nothing is stale.
+  accepted_since_build_[channel] = 0;
   return model_cache_.emplace(channel, std::move(m)).first->second;
 }
 
@@ -82,71 +156,13 @@ SpectrumDatabase::UploadResult SpectrumDatabase::upload_measurements(
     throw std::out_of_range(
         "uploads require a bootstrapped channel (trusted campaign first)");
   }
-  UploadResult result;
-  if (readings.empty()) return result;
   campaign::ChannelDataset& stored = it->second;
-  std::vector<PendingReading>& pending = pending_[channel];
-
-  // Correlation check against the stored neighbourhood (Section 3.4 /
-  // secure collaborative sensing): an upload deviating wildly from what
-  // nearby trusted readings saw is rejected; an upload nobody can vouch
-  // for is held pending until independently corroborated.
-  const geo::GridIndex index(stored.positions(),
-                             std::max(50.0, upload_policy_.neighbourhood_m));
-  const std::vector<double> stored_rss = stored.rss_values();
 
   std::vector<campaign::Measurement> accepted;
-  for (const campaign::Measurement& m : readings) {
-    const std::vector<std::size_t> nearby =
-        index.query_radius(m.position, upload_policy_.neighbourhood_m);
-    if (nearby.size() >= upload_policy_.min_neighbours) {
-      std::vector<double> neighbour_rss;
-      neighbour_rss.reserve(nearby.size());
-      for (const std::size_t j : nearby) {
-        neighbour_rss.push_back(stored_rss[j]);
-      }
-      const double median = ml::quantile(neighbour_rss, 0.5);
-      if (std::abs(m.rss_dbm - median) > upload_policy_.max_deviation_db) {
-        ++result.rejected;
-      } else {
-        accepted.push_back(m);
-        ++result.accepted;
-      }
-      continue;
-    }
-
-    // Unexplored territory: look for corroborating pending readings from
-    // other contributors.
-    std::vector<std::size_t> corroborators;
-    std::size_t distinct = 1;  // this contributor
-    for (std::size_t p = 0; p < pending.size(); ++p) {
-      const PendingReading& pr = pending[p];
-      if (geo::distance_m(pr.measurement.position, m.position) >
-          upload_policy_.corroboration_m) {
-        continue;
-      }
-      if (std::abs(pr.measurement.rss_dbm - m.rss_dbm) >
-          upload_policy_.max_deviation_db) {
-        continue;
-      }
-      corroborators.push_back(p);
-      if (pr.contributor != contributor) ++distinct;
-    }
-    if (distinct >= upload_policy_.min_corroborators) {
-      // Promote the agreeing cluster plus this reading.
-      accepted.push_back(m);
-      ++result.accepted;
-      for (auto rit = corroborators.rbegin(); rit != corroborators.rend();
-           ++rit) {
-        accepted.push_back(pending[*rit].measurement);
-        ++result.accepted;  // promoted into the trusted store now
-        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(*rit));
-      }
-    } else {
-      pending.push_back(PendingReading{m, contributor});
-      ++result.pending;
-    }
-  }
+  UploadResult result = screen_upload(stored, pending_[channel],
+                                      upload_policy_, readings, contributor,
+                                      accepted);
+  result.ticket = uploads_applied_[channel]++;
 
   if (!accepted.empty()) {
     stored.readings.insert(stored.readings.end(),
@@ -162,6 +178,16 @@ SpectrumDatabase::UploadResult SpectrumDatabase::upload_measurements(
   stats_.uploads_accepted += result.accepted;
   stats_.uploads_rejected += result.rejected;
   return result;
+}
+
+std::size_t SpectrumDatabase::purge_pending(const std::string& contributor) {
+  std::size_t purged = 0;
+  for (auto& [channel, pending] : pending_) {
+    purged += std::erase_if(pending, [&contributor](const PendingReading& pr) {
+      return pr.contributor == contributor;
+    });
+  }
+  return purged;
 }
 
 std::size_t SpectrumDatabase::pending_count(int channel) const noexcept {

@@ -3,11 +3,20 @@
 // the online phase serves compact model descriptors to devices and accepts
 // crowd-sourced measurement uploads, sanity-checked by correlating each
 // upload against nearby stored readings (the defence of [26]).
+//
+// SpectrumDatabase is the single-threaded reference implementation of the
+// SpectrumStore surface; service::SpectrumService (src/service) is the
+// thread-safe per-channel-sharded serving layer. Both screen uploads with
+// the same screen_upload() function, so they accept exactly the same
+// readings given the same per-channel request order.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "waldo/campaign/labeling.hpp"
 #include "waldo/campaign/measurement.hpp"
@@ -48,42 +57,100 @@ struct UploadPolicy {
   std::size_t rebuild_threshold = 1;
 };
 
-class SpectrumDatabase {
+/// A crowd-sourced reading parked for corroboration — seen but not trusted.
+struct PendingReading {
+  campaign::Measurement measurement;
+  std::string contributor;
+};
+
+/// Ledger of one upload batch.
+struct UploadResult {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t pending = 0;  ///< held for corroboration, not yet trusted
+  /// 0-based position of this batch in the channel's total upload order
+  /// (every upload call consumes one ticket, even all-rejected ones —
+  /// they may still park pending readings). Replaying recorded batches in
+  /// ticket order against a fresh store reproduces the channel's dataset
+  /// and pending pool byte-for-byte; tests/test_service.cpp holds the
+  /// concurrent serving layer to exactly that contract.
+  std::uint64_t ticket = 0;
+};
+
+/// Screens one upload batch against a channel's trusted dataset and pending
+/// pool per `policy` (Section 3.4): readings the stored neighbourhood can
+/// vouch for are correlation-checked; readings in unexplored territory are
+/// promoted when enough distinct contributors corroborate, parked pending
+/// otherwise. Mutates `pending` (parks new readings, removes promoted ones)
+/// and appends every newly trusted measurement — each accepted batch
+/// reading followed by the pendings it promoted — to `accepted`. The
+/// returned ledger's ticket is left 0; stores stamp their own apply order.
+[[nodiscard]] UploadResult screen_upload(
+    const campaign::ChannelDataset& stored,
+    std::vector<PendingReading>& pending, const UploadPolicy& policy,
+    std::span<const campaign::Measurement> readings,
+    const std::string& contributor,
+    std::vector<campaign::Measurement>& accepted);
+
+/// The store surface the WSNP ProtocolServer serves from. Thread safety is
+/// the implementor's contract: ProtocolServer::handle is reentrant exactly
+/// when the store behind it is (SpectrumDatabase is single-threaded;
+/// service::SpectrumService is safe for arbitrary concurrent callers).
+class SpectrumStore {
  public:
+  virtual ~SpectrumStore() = default;
+
+  [[nodiscard]] virtual bool has_channel(int channel) const = 0;
+
+  /// Serialized model descriptor — what a WSD's Local Model Parameters
+  /// Updater downloads. Implementations account traffic in their stats.
+  [[nodiscard]] virtual std::string download_model(int channel) = 0;
+
+  /// Online phase, Global Model Updater: submits device measurements.
+  /// `contributor` identifies the uploading device for the corroboration
+  /// rule (pending readings are promoted only by *other* contributors).
+  virtual UploadResult upload_measurements(
+      int channel, std::span<const campaign::Measurement> readings,
+      const std::string& contributor) = 0;
+};
+
+class SpectrumDatabase : public SpectrumStore {
+ public:
+  using UploadResult = core::UploadResult;
+
   explicit SpectrumDatabase(ModelConstructorConfig constructor_config = {},
                             campaign::LabelingConfig labeling = {},
                             UploadPolicy upload_policy = {});
 
   /// Offline phase: stores a trusted campaign sweep for its channel
-  /// (appends if the channel already has data) and invalidates any cached
-  /// model.
+  /// (appends if the channel already has data), invalidates any cached
+  /// model and zeroes the staleness counter (the next build sees
+  /// everything, so nothing is "accepted since build" any more).
   void ingest_campaign(campaign::ChannelDataset dataset);
 
-  [[nodiscard]] bool has_channel(int channel) const noexcept;
+  [[nodiscard]] bool has_channel(int channel) const noexcept override;
   [[nodiscard]] std::vector<int> channels() const;
   [[nodiscard]] const campaign::ChannelDataset& dataset(int channel) const;
 
   /// Algorithm 1 labels of the stored dataset (computed fresh).
   [[nodiscard]] std::vector<int> labels(int channel) const;
 
-  /// Builds (or returns the cached) detection model for a channel.
+  /// Builds (or returns the cached) detection model for a channel. A
+  /// rebuild folds in every accepted reading, so it resets the channel's
+  /// staleness counter.
   [[nodiscard]] const WhiteSpaceModel& model(int channel);
 
-  /// Serialized model descriptor — what a WSD's Local Model Parameters
-  /// Updater downloads. Accounts traffic in stats().
-  [[nodiscard]] std::string download_model(int channel);
+  [[nodiscard]] std::string download_model(int channel) override;
 
-  /// Online phase, Global Model Updater: submits device measurements.
-  /// `contributor` identifies the uploading device for the corroboration
-  /// rule (pending readings are promoted only by *other* contributors).
-  struct UploadResult {
-    std::size_t accepted = 0;
-    std::size_t rejected = 0;
-    std::size_t pending = 0;  ///< held for corroboration, not yet trusted
-  };
   UploadResult upload_measurements(
       int channel, std::span<const campaign::Measurement> readings,
-      const std::string& contributor = "anonymous");
+      const std::string& contributor = "anonymous") override;
+
+  /// Drops every pending (not-yet-corroborated) reading parked by
+  /// `contributor`, on all channels; returns how many were purged.
+  /// SecureUpdater calls this at quarantine time so a quarantined
+  /// identity's stash can never be promoted by later corroboration.
+  std::size_t purge_pending(const std::string& contributor);
 
   /// Readings currently awaiting corroboration on a channel.
   [[nodiscard]] std::size_t pending_count(int channel) const noexcept;
@@ -101,13 +168,10 @@ class SpectrumDatabase {
   ModelConstructorConfig constructor_config_;
   campaign::LabelingConfig labeling_;
   UploadPolicy upload_policy_;
-  struct PendingReading {
-    campaign::Measurement measurement;
-    std::string contributor;
-  };
 
   std::map<int, campaign::ChannelDataset> data_;
   std::map<int, std::size_t> accepted_since_build_;
+  std::map<int, std::uint64_t> uploads_applied_;
   std::map<int, std::vector<PendingReading>> pending_;
   std::map<int, WhiteSpaceModel> model_cache_;
   DatabaseStats stats_;

@@ -43,6 +43,11 @@ struct UploadResponse {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t pending = 0;
+  /// Per-channel apply ticket (see core::UploadResult::ticket): where this
+  /// batch landed in the channel's total upload order. Lets a client — or
+  /// the serving-layer stress test — reconstruct the serial order that a
+  /// concurrent server actually applied.
+  std::uint64_t ticket = 0;
 };
 
 struct ErrorResponse {
@@ -59,18 +64,20 @@ using Message = std::variant<ModelRequest, ModelResponse, UploadRequest,
 /// (bad magic, unknown type, truncated body).
 [[nodiscard]] Message decode(const std::string& wire);
 
-/// Server side: binds a SpectrumDatabase behind the protocol. Every
-/// request wire string maps to exactly one response wire string; internal
-/// errors surface as ErrorResponse rather than exceptions.
+/// Server side: binds a SpectrumStore behind the protocol. Every request
+/// wire string maps to exactly one response wire string; internal errors
+/// surface as ErrorResponse rather than exceptions. handle() keeps no
+/// per-request state, so it is reentrant: concurrent calls are safe
+/// whenever the backing store is thread-safe (service::SpectrumService is;
+/// a bare SpectrumDatabase is single-threaded).
 class ProtocolServer {
  public:
-  explicit ProtocolServer(SpectrumDatabase& database)
-      : database_(&database) {}
+  explicit ProtocolServer(SpectrumStore& store) : store_(&store) {}
 
-  [[nodiscard]] std::string handle(const std::string& request_wire);
+  [[nodiscard]] std::string handle(const std::string& request_wire) const;
 
  private:
-  SpectrumDatabase* database_;
+  SpectrumStore* store_;
 };
 
 /// Client side: issues typed requests through a caller-supplied transport

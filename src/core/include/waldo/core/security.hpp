@@ -67,11 +67,16 @@ class SecureUpdater {
     std::size_t rejected = 0;
     std::size_t pending = 0;   ///< held for corroboration
     bool quarantined = false;  ///< batch dropped without touching the DB
+    /// Pending readings of this contributor purged across all channels
+    /// when this batch tripped the quarantine threshold (a quarantined
+    /// identity's stash must never be promoted by later corroboration).
+    std::size_t purged_pending = 0;
   };
 
   /// Submits a batch on behalf of `contributor`. Quarantined contributors
   /// are refused outright; otherwise the database's correlation check runs
-  /// and the outcome updates the contributor's reputation.
+  /// and the outcome updates the contributor's reputation. Crossing the
+  /// quarantine threshold also purges the contributor's pending readings.
   SubmitResult submit(SpectrumDatabase& database, int channel,
                       const std::string& contributor,
                       std::span<const campaign::Measurement> readings);

@@ -1,14 +1,41 @@
 #include "waldo/core/protocol.hpp"
 
+#include <charconv>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace waldo::core {
 
 namespace {
 
 constexpr const char* kMagic = "WSNP/1";
+
+// Parses a base-10 integer occupying the whole of `text`: empty input,
+// non-digit bytes, and trailing junk are all rejected, naming the field.
+template <typename Int>
+[[nodiscard]] Int parse_int_field(std::string_view text, const char* field) {
+  Int value{};
+  const char* const begin = text.data();
+  const char* const end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error(std::string("WSNP: malformed ") + field +
+                             ": '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+// Throws unless nothing but whitespace remains — numeric fields followed
+// by trailing garbage ("46 1 2 junk") must not decode successfully.
+void require_drained(std::istream& is, const char* what) {
+  char stray = '\0';
+  if (is >> stray) {
+    throw std::runtime_error(std::string("WSNP: trailing garbage after ") +
+                             what);
+  }
+}
 
 [[nodiscard]] const char* type_name(const Message& m) {
   struct Visitor {
@@ -49,7 +76,8 @@ constexpr const char* kMagic = "WSNP/1";
       }
     }
     void operator()(const UploadResponse& r) {
-      os << r.accepted << " " << r.rejected << " " << r.pending << "\n";
+      os << r.accepted << " " << r.rejected << " " << r.pending << " "
+         << r.ticket << "\n";
     }
     void operator()(const ErrorResponse& r) { os << r.reason << "\n"; }
   };
@@ -65,6 +93,7 @@ constexpr const char* kMagic = "WSNP/1";
     if (!(is >> r.channel >> r.location.east_m >> r.location.north_m)) {
       throw std::runtime_error("malformed model_request body");
     }
+    require_drained(is, "model_request fields");
     return r;
   }
   if (type == "model_response") {
@@ -73,7 +102,7 @@ constexpr const char* kMagic = "WSNP/1";
     if (!std::getline(is, first_line)) {
       throw std::runtime_error("malformed model_response body");
     }
-    r.channel = std::stoi(first_line);
+    r.channel = parse_int_field<int>(first_line, "model_response channel");
     std::ostringstream rest;
     rest << is.rdbuf();
     r.descriptor = rest.str();
@@ -85,6 +114,12 @@ constexpr const char* kMagic = "WSNP/1";
     if (!(is >> r.channel >> r.contributor >> count)) {
       throw std::runtime_error("malformed upload_request body");
     }
+    // Each reading occupies at least a dozen body bytes; a count the body
+    // cannot possibly hold is a malformed (or hostile) frame, not a reason
+    // to attempt a giant allocation.
+    if (count > body.size()) {
+      throw std::runtime_error("WSNP: malformed upload_request count");
+    }
     r.readings.resize(count);
     for (campaign::Measurement& m : r.readings) {
       if (!(is >> m.position.east_m >> m.position.north_m >> m.raw >>
@@ -92,13 +127,15 @@ constexpr const char* kMagic = "WSNP/1";
         throw std::runtime_error("truncated upload_request body");
       }
     }
+    require_drained(is, "upload_request readings");
     return r;
   }
   if (type == "upload_response") {
     UploadResponse r;
-    if (!(is >> r.accepted >> r.rejected >> r.pending)) {
+    if (!(is >> r.accepted >> r.rejected >> r.pending >> r.ticket)) {
       throw std::runtime_error("malformed upload_response body");
     }
+    require_drained(is, "upload_response fields");
     return r;
   }
   if (type == "error") {
@@ -126,10 +163,13 @@ Message decode(const std::string& wire) {
   }
   std::istringstream header(wire.substr(0, header_end));
   std::string magic, type;
-  std::size_t length = 0;
-  if (!(header >> magic >> type >> length) || magic != kMagic) {
+  std::string length_token;
+  if (!(header >> magic >> type >> length_token) || magic != kMagic) {
     throw std::runtime_error("WSNP: bad header");
   }
+  require_drained(header, "WSNP header");
+  const std::size_t length =
+      parse_int_field<std::size_t>(length_token, "body length");
   const std::string body = wire.substr(header_end + 1);
   if (body.size() != length) {
     throw std::runtime_error("WSNP: body length mismatch");
@@ -137,7 +177,7 @@ Message decode(const std::string& wire) {
   return decode_body(type, body);
 }
 
-std::string ProtocolServer::handle(const std::string& request_wire) {
+std::string ProtocolServer::handle(const std::string& request_wire) const {
   Message request;
   try {
     request = decode(request_wire);
@@ -147,21 +187,22 @@ std::string ProtocolServer::handle(const std::string& request_wire) {
 
   try {
     if (const auto* r = std::get_if<ModelRequest>(&request)) {
-      if (!database_->has_channel(r->channel)) {
+      if (!store_->has_channel(r->channel)) {
         return encode(ErrorResponse{
             .reason = "no data for channel " + std::to_string(r->channel)});
       }
       return encode(ModelResponse{
           .channel = r->channel,
-          .descriptor = database_->download_model(r->channel)});
+          .descriptor = store_->download_model(r->channel)});
     }
     if (const auto* r = std::get_if<UploadRequest>(&request)) {
-      const SpectrumDatabase::UploadResult result =
-          database_->upload_measurements(r->channel, r->readings,
-                                         r->contributor);
+      const UploadResult result =
+          store_->upload_measurements(r->channel, r->readings,
+                                      r->contributor);
       return encode(UploadResponse{.accepted = result.accepted,
                                    .rejected = result.rejected,
-                                   .pending = result.pending});
+                                   .pending = result.pending,
+                                   .ticket = result.ticket});
     }
   } catch (const std::exception& e) {
     return encode(ErrorResponse{.reason = e.what()});

@@ -65,6 +65,10 @@ SecureUpdater::SubmitResult SecureUpdater::submit(
   }
   if (rec.reputation < policy_.quarantine_threshold) {
     rec.quarantined = true;
+    // Readings this identity parked before tripping the threshold must not
+    // linger: a later accomplice could corroborate them into the trusted
+    // store, bypassing the quarantine entirely.
+    result.purged_pending = database.purge_pending(contributor);
   }
   return result;
 }

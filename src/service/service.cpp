@@ -1,0 +1,219 @@
+#include "waldo/service/service.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace waldo::service {
+
+// Lock order (docs/CONCURRENCY.md): shards_mutex_ -> rebuild_mutex ->
+// state_mutex, each optional, never taken upward. state_mutex is never
+// held across a model build; rebuild_mutex is never held by readers of a
+// fresh cache.
+struct SpectrumService::Shard {
+  mutable std::shared_mutex state_mutex;
+
+  // All fields below are guarded by state_mutex.
+  campaign::ChannelDataset dataset;
+  std::vector<core::PendingReading> pending;
+  std::size_t accepted_since_build = 0;
+  std::uint64_t uploads_applied = 0;  // apply-ticket counter
+  /// Bumped on every cache-invalidation event (ingest, staleness crossing
+  /// the rebuild threshold). The cached model is fresh iff
+  /// model_generation == generation.
+  std::uint64_t generation = 0;
+  std::shared_ptr<const core::WhiteSpaceModel> model;
+  std::uint64_t model_generation = 0;
+
+  /// Serialises rebuilds of this channel so a thundering herd of stale
+  /// readers builds once. Never held while holding state_mutex upward.
+  std::mutex rebuild_mutex;
+};
+
+SpectrumService::SpectrumService(
+    core::ModelConstructorConfig constructor_config,
+    campaign::LabelingConfig labeling, core::UploadPolicy upload_policy)
+    : constructor_config_(std::move(constructor_config)),
+      labeling_(labeling),
+      upload_policy_(upload_policy) {}
+
+SpectrumService::~SpectrumService() = default;
+
+SpectrumService::Shard* SpectrumService::find_shard(
+    int channel) const noexcept {
+  const std::shared_lock lock(shards_mutex_);
+  const auto it = shards_.find(channel);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+SpectrumService::Shard& SpectrumService::shard(int channel) const {
+  Shard* s = find_shard(channel);
+  if (s == nullptr) {
+    throw std::out_of_range("no data for channel " + std::to_string(channel));
+  }
+  return *s;
+}
+
+void SpectrumService::ingest_campaign(campaign::ChannelDataset dataset) {
+  if (dataset.readings.empty()) {
+    throw std::invalid_argument("refusing to ingest an empty campaign");
+  }
+  const int channel = dataset.channel;
+  Shard* s = nullptr;
+  {
+    const std::unique_lock lock(shards_mutex_);
+    auto& slot = shards_[channel];
+    if (!slot) slot = std::make_unique<Shard>();
+    s = slot.get();
+  }
+  const std::unique_lock lock(s->state_mutex);
+  if (s->dataset.readings.empty()) {
+    s->dataset = std::move(dataset);
+  } else {
+    auto& readings = s->dataset.readings;
+    readings.insert(readings.end(),
+                    std::make_move_iterator(dataset.readings.begin()),
+                    std::make_move_iterator(dataset.readings.end()));
+  }
+  ++s->generation;  // cached model (if any) is now stale
+  s->accepted_since_build = 0;
+}
+
+bool SpectrumService::has_channel(int channel) const {
+  return find_shard(channel) != nullptr;
+}
+
+std::vector<int> SpectrumService::channels() const {
+  const std::shared_lock lock(shards_mutex_);
+  std::vector<int> out;
+  out.reserve(shards_.size());
+  for (const auto& [ch, _] : shards_) out.push_back(ch);
+  return out;
+}
+
+std::shared_ptr<const core::WhiteSpaceModel> SpectrumService::model(
+    int channel) {
+  Shard& s = shard(channel);
+  {
+    const std::shared_lock lock(s.state_mutex);
+    if (s.model && s.model_generation == s.generation) return s.model;
+  }
+
+  // Stale (or absent): rebuild, serialised per channel. Concurrent readers
+  // of other channels are untouched; late arrivals for this channel queue
+  // on rebuild_mutex and reuse the freshly published model.
+  const std::lock_guard rebuild(s.rebuild_mutex);
+  campaign::ChannelDataset snapshot;
+  std::uint64_t built_from = 0;
+  {
+    const std::shared_lock lock(s.state_mutex);
+    if (s.model && s.model_generation == s.generation) return s.model;
+    snapshot = s.dataset;  // uploads wait only for this copy
+    built_from = s.generation;
+  }
+  const core::ModelConstructor constructor(constructor_config_);
+  auto built = std::make_shared<const core::WhiteSpaceModel>(
+      constructor.build_with_labeling(snapshot, labeling_));
+  models_built_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::unique_lock lock(s.state_mutex);
+  s.model = built;
+  s.model_generation = built_from;
+  if (built_from == s.generation) s.accepted_since_build = 0;
+  // If the dataset moved on mid-build the published model is already
+  // stale (model_generation < generation) and the next reader rebuilds;
+  // the returned snapshot is still a consistent point-in-time model.
+  return built;
+}
+
+std::string SpectrumService::download_model(int channel) {
+  const std::shared_ptr<const core::WhiteSpaceModel> m = model(channel);
+  std::string descriptor = m->serialize();
+  model_downloads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_served_.fetch_add(descriptor.size(), std::memory_order_relaxed);
+  return descriptor;
+}
+
+core::UploadResult SpectrumService::upload_measurements(
+    int channel, std::span<const campaign::Measurement> readings,
+    const std::string& contributor) {
+  Shard* s = find_shard(channel);
+  if (s == nullptr) {
+    throw std::out_of_range(
+        "uploads require a bootstrapped channel (trusted campaign first)");
+  }
+  std::vector<campaign::Measurement> accepted;
+  core::UploadResult result;
+  {
+    const std::unique_lock lock(s->state_mutex);
+    result = core::screen_upload(s->dataset, s->pending, upload_policy_,
+                                 readings, contributor, accepted);
+    result.ticket = s->uploads_applied++;
+    if (!accepted.empty()) {
+      auto& stored = s->dataset.readings;
+      stored.insert(stored.end(), std::make_move_iterator(accepted.begin()),
+                    std::make_move_iterator(accepted.end()));
+      s->accepted_since_build += result.accepted;
+      if (s->accepted_since_build >= upload_policy_.rebuild_threshold) {
+        ++s->generation;  // invalidate the cached model
+        s->accepted_since_build = 0;
+      }
+    }
+  }
+  uploads_accepted_.fetch_add(result.accepted, std::memory_order_relaxed);
+  uploads_rejected_.fetch_add(result.rejected, std::memory_order_relaxed);
+  uploads_pending_.fetch_add(result.pending, std::memory_order_relaxed);
+  return result;
+}
+
+campaign::ChannelDataset SpectrumService::dataset_snapshot(
+    int channel) const {
+  Shard& s = shard(channel);
+  const std::shared_lock lock(s.state_mutex);
+  return s.dataset;
+}
+
+std::size_t SpectrumService::purge_pending(const std::string& contributor) {
+  std::vector<Shard*> all;
+  {
+    const std::shared_lock lock(shards_mutex_);
+    all.reserve(shards_.size());
+    for (const auto& [ch, s] : shards_) all.push_back(s.get());
+  }
+  std::size_t purged = 0;
+  for (Shard* s : all) {
+    const std::unique_lock lock(s->state_mutex);
+    purged += std::erase_if(
+        s->pending, [&contributor](const core::PendingReading& pr) {
+          return pr.contributor == contributor;
+        });
+  }
+  return purged;
+}
+
+std::size_t SpectrumService::pending_count(int channel) const {
+  Shard* s = find_shard(channel);
+  if (s == nullptr) return 0;
+  const std::shared_lock lock(s->state_mutex);
+  return s->pending.size();
+}
+
+std::size_t SpectrumService::staleness(int channel) const {
+  Shard* s = find_shard(channel);
+  if (s == nullptr) return 0;
+  const std::shared_lock lock(s->state_mutex);
+  return s->accepted_since_build;
+}
+
+ServiceCounters SpectrumService::counters() const {
+  ServiceCounters out;
+  out.models_built = models_built_.load(std::memory_order_relaxed);
+  out.model_downloads = model_downloads_.load(std::memory_order_relaxed);
+  out.bytes_served = bytes_served_.load(std::memory_order_relaxed);
+  out.uploads_accepted = uploads_accepted_.load(std::memory_order_relaxed);
+  out.uploads_rejected = uploads_rejected_.load(std::memory_order_relaxed);
+  out.uploads_pending = uploads_pending_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace waldo::service

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <sstream>
 
 #include "waldo/campaign/dataset_io.hpp"
@@ -180,6 +182,75 @@ TEST_F(CampaignFixture, CsvRoundTripPreservesData) {
     EXPECT_NEAR(back.readings[i].rss_dbm, ds.readings[i].rss_dbm, 1e-6);
     EXPECT_NEAR(back.readings[i].cft_db, ds.readings[i].cft_db, 1e-6);
   }
+}
+
+// Regression: write_csv used setprecision(12), which silently perturbed
+// doubles on a write→read round trip (12 significant digits cannot
+// reconstruct a binary64). Round-tripping must be bit-exact, including
+// for extreme magnitudes, negative zero and denormals.
+TEST(DatasetIo, CsvRoundTripIsBitExact) {
+  const double awkward[] = {
+      -84.0000000001,          // differs from -84.0 only past digit 12
+      1e300,                   // huge magnitude
+      -0.0,                    // sign must survive
+      5e-324,                  // smallest denormal
+      0.1,                     // classic non-representable decimal
+      -107.38283136917901,     // a real AFT-style value
+  };
+  ChannelDataset ds;
+  ds.channel = 21;
+  ds.sensor_name = "bitexact";
+  for (const double v : awkward) {
+    Measurement m;
+    m.position = geo::EnuPoint{v, -v};
+    m.raw = v;
+    m.rss_dbm = v;
+    m.cft_db = v;
+    m.aft_db = v;
+    m.true_rss_dbm = v;
+    ds.readings.push_back(m);
+  }
+  std::stringstream ss;
+  write_csv(ss, ds);
+  const ChannelDataset back = read_csv(ss);
+  ASSERT_EQ(back.size(), ds.size());
+  const auto bits = [](double d) { return std::bit_cast<std::uint64_t>(d); };
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Measurement& a = ds.readings[i];
+    const Measurement& b = back.readings[i];
+    EXPECT_EQ(bits(a.position.east_m), bits(b.position.east_m)) << i;
+    EXPECT_EQ(bits(a.position.north_m), bits(b.position.north_m)) << i;
+    EXPECT_EQ(bits(a.raw), bits(b.raw)) << i;
+    EXPECT_EQ(bits(a.rss_dbm), bits(b.rss_dbm)) << i;
+    EXPECT_EQ(bits(a.cft_db), bits(b.cft_db)) << i;
+    EXPECT_EQ(bits(a.aft_db), bits(b.aft_db)) << i;
+    EXPECT_EQ(bits(a.true_rss_dbm), bits(b.true_rss_dbm)) << i;
+  }
+  // A second trip through text must be byte-identical: the canonical form
+  // is a fixed point.
+  std::stringstream again;
+  write_csv(again, back);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(DatasetIo, RejectsMalformedRows) {
+  const std::string header =
+      "# waldo-dataset v1 channel=30 sensor=X\n"
+      "east_m,north_m,raw,rss_dbm,cft_db,aft_db,true_rss_dbm\n";
+  // Space-separated values: the separators must actually be commas.
+  std::stringstream spaces(header + "1 2 3 4 5 6 7\n");
+  EXPECT_THROW((void)read_csv(spaces), std::runtime_error);
+  // Too few fields.
+  std::stringstream missing(header + "1,2,3,4\n");
+  EXPECT_THROW((void)read_csv(missing), std::runtime_error);
+  // Trailing garbage after a complete row.
+  std::stringstream trailing(header + "1,2,3,4,5,6,7,extra\n");
+  EXPECT_THROW((void)read_csv(trailing), std::runtime_error);
+  // A well-formed row still parses.
+  std::stringstream good(header + "1,2,3,4,5,6,7\n");
+  const ChannelDataset ok = read_csv(good);
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_DOUBLE_EQ(ok.readings[0].aft_db, 6.0);
 }
 
 TEST(DatasetIo, RejectsGarbage) {

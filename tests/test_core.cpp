@@ -499,6 +499,44 @@ TEST_F(DatabaseFixture, RebuildThresholdBatchesRetraining) {
   EXPECT_EQ(db.stats().models_built, 2u);
 }
 
+// Regression: the staleness counter was never reset when a build or a
+// campaign ingest folded the accepted readings in, so it over-reported
+// forever and every later upload crossed the threshold immediately —
+// silently degrading rebuild batching to rebuild-per-upload.
+TEST_F(DatabaseFixture, StalenessResetsOnceReadingsAreFoldedIn) {
+  ModelConstructorConfig mc = fast_config();
+  UploadPolicy policy;
+  policy.rebuild_threshold = 5;
+  SpectrumDatabase db(mc, campaign::LabelingConfig{}, policy);
+  db.ingest_campaign(*data_);
+
+  const auto upload_one = [&](int i) {
+    campaign::Measurement m = data_->readings[static_cast<std::size_t>(i)];
+    m.position.east_m += 20.0 + i;
+    (void)db.upload_measurements(46, std::vector<campaign::Measurement>{m});
+  };
+
+  for (int i = 0; i < 3; ++i) upload_one(i);
+  EXPECT_EQ(db.staleness(46), 3u);
+
+  // A fresh build folds those three in: nothing is stale any more.
+  (void)db.model(46);
+  EXPECT_EQ(db.staleness(46), 0u);
+  EXPECT_EQ(db.stats().models_built, 1u);
+
+  // Two more accepted readings start the count from zero, not from three —
+  // the cached model survives (with the old accounting this would read 5
+  // and spuriously invalidate).
+  for (int i = 3; i < 5; ++i) upload_one(i);
+  EXPECT_EQ(db.staleness(46), 2u);
+  (void)db.model(46);
+  EXPECT_EQ(db.stats().models_built, 1u);
+
+  // A campaign ingest also folds everything into the next build.
+  db.ingest_campaign(*data_);
+  EXPECT_EQ(db.staleness(46), 0u);
+}
+
 TEST_F(DatabaseFixture, UploadInvalidatesModelCache) {
   SpectrumDatabase db(fast_config());
   db.ingest_campaign(*data_);

@@ -69,6 +69,49 @@ TEST(ProtocolWire, RejectsMalformedInput) {
   EXPECT_THROW((void)encode(spaced), std::invalid_argument);
 }
 
+// Regression: numeric header/body fields were parsed with std::stoi and
+// unchecked stream extraction, so "46abc" decoded as 46, trailing bytes
+// after a complete body were silently ignored, and a hostile upload count
+// could drive a huge reserve. Every field is now parsed checked, with
+// trailing garbage rejected.
+TEST(ProtocolWire, RejectsNonNumericAndTrailingFields) {
+  // Non-numeric channel in a model_response ("46abc" used to pass stoi).
+  EXPECT_THROW((void)decode("WSNP/1 model_response 9\n46abc\nmdl"),
+               std::runtime_error);
+  // Non-numeric body length in the header.
+  EXPECT_THROW((void)decode("WSNP/1 model_request 4x\n15 0 0\n"),
+               std::runtime_error);
+  // Trailing garbage after complete model_request fields.
+  EXPECT_THROW((void)decode("WSNP/1 model_request 12\n15 0 0 junk\n"),
+               std::runtime_error);
+  // Trailing garbage after a complete upload_response.
+  EXPECT_THROW((void)decode("WSNP/1 upload_response 12\n5 2 1 0 bad\n"),
+               std::runtime_error);
+  // Extra bytes between body and declared length are not ignored either.
+  const std::string valid = encode(ModelRequest{.channel = 15});
+  EXPECT_THROW((void)decode(valid + "extra"), std::runtime_error);
+}
+
+TEST(ProtocolWire, RejectsImplausibleUploadCount) {
+  // Claims 999999 readings in a 3-byte body: must be rejected up front
+  // (before any allocation), not trusted as a reserve size.
+  EXPECT_THROW((void)decode("WSNP/1 upload_request 18\n15 eve 999999\n0 0\n"),
+               std::runtime_error);
+  // Count larger than the readings actually present.
+  EXPECT_THROW(
+      (void)decode("WSNP/1 upload_request 21\n15 eve 2\n1 2 3 4 5 6\n"),
+      std::runtime_error);
+}
+
+TEST(ProtocolWire, UploadResponseTicketRoundTrips) {
+  const UploadResponse up{
+      .accepted = 3, .rejected = 1, .pending = 2, .ticket = 41};
+  const Message decoded = decode(encode(up));
+  const auto* u = std::get_if<UploadResponse>(&decoded);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->ticket, 41u);
+}
+
 class ProtocolFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {

@@ -9,6 +9,8 @@
 #include <random>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "waldo/baselines/interpolation.hpp"
 #include "waldo/campaign/wardrive.hpp"
@@ -16,6 +18,7 @@
 #include "waldo/ml/cross_validation.hpp"
 #include "waldo/ml/kmeans.hpp"
 #include "waldo/rf/environment.hpp"
+#include "waldo/runtime/histogram.hpp"
 #include "waldo/runtime/parallel.hpp"
 #include "waldo/runtime/seed.hpp"
 #include "waldo/runtime/stage_timer.hpp"
@@ -182,6 +185,66 @@ TEST(StageTimer, AccumulatesScopesAndRecords) {
   timer.reset();
   EXPECT_TRUE(timer.stages().empty());
   EXPECT_TRUE(timer.report().empty());
+}
+
+// --- latency histogram ---------------------------------------------------
+
+TEST(LatencyHistogram, EmptySnapshotIsZero) {
+  runtime::LatencyHistogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.max_ns, 0u);
+  EXPECT_DOUBLE_EQ(snap.p50_ns, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ns, 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesWithinBucketResolution) {
+  runtime::LatencyHistogram h;
+  // Uniform 1..100000 ns: p50 ~ 50000, p90 ~ 90000, p99 ~ 99000. The
+  // log-linear buckets guarantee ~6 % relative resolution.
+  for (std::uint64_t v = 1; v <= 100'000; ++v) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100'000u);
+  EXPECT_EQ(snap.max_ns, 100'000u);
+  EXPECT_NEAR(snap.p50_ns, 50'000.0, 0.07 * 50'000.0);
+  EXPECT_NEAR(snap.p90_ns, 90'000.0, 0.07 * 90'000.0);
+  EXPECT_NEAR(snap.p99_ns, 99'000.0, 0.07 * 99'000.0);
+}
+
+TEST(LatencyHistogram, TinyAndHugeValuesLandInRange) {
+  runtime::LatencyHistogram h;
+  h.record(0);
+  h.record(3);
+  h.record(std::uint64_t{3'600'000'000'000});  // one hour in ns
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.max_ns, std::uint64_t{3'600'000'000'000});
+  EXPECT_GE(snap.p99_ns, 1e12);  // the hour dominates the tail
+  EXPECT_LE(snap.p50_ns, 4.0);   // the small values hold the median down
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllCounted) {
+  runtime::LatencyHistogram h;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      std::mt19937_64 rng(runtime::split_seed(3, t));
+      std::uniform_int_distribution<std::uint64_t> value(1, 1'000'000);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(value(rng));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_LE(snap.p50_ns, snap.p90_ns);
+  EXPECT_LE(snap.p90_ns, snap.p99_ns);
+  EXPECT_LE(snap.p99_ns, static_cast<double>(snap.max_ns) * 1.07);
+
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
 }
 
 // --- determinism: serial == parallel across the pipeline -----------------

@@ -106,6 +106,51 @@ TEST_F(SecurityFixture, ReputationQuarantinesRepeatOffender) {
   EXPECT_EQ(db.stats().uploads_rejected, before);
 }
 
+// Regression: quarantine used to drop only *future* batches. Readings the
+// attacker had already parked in the pending pool survived, so an
+// accomplice identity could corroborate them post-quarantine and promote
+// the stash into the trusted dataset. Quarantine must purge the pool.
+TEST_F(SecurityFixture, QuarantinePurgesPendingStash) {
+  SpectrumDatabase db = make_db();
+  SecureUpdater updater;
+
+  // Mallory parks a stash far outside campaign coverage: nothing can vouch
+  // there, so every reading is held pending. The area is small enough
+  // (300 m square) that any later report inside it corroborates.
+  AttackConfig stash;
+  stash.type = AttackType::kFalseOccupancy;
+  stash.target_area =
+      geo::BoundingBox{100'000.0, 100'000.0, 100'300.0, 100'300.0};
+  stash.forged_rss_dbm = -60.0;
+  stash.num_reports = 20;
+  stash.seed = 7;
+  const auto park = updater.submit(db, 46, "mallory", forge_uploads(stash));
+  EXPECT_EQ(park.accepted, 0u);
+  EXPECT_EQ(park.pending, 20u);
+  EXPECT_EQ(db.pending_count(46), 20u);
+  const std::size_t trusted_before = db.dataset(46).size();
+
+  // Covered-area forgeries trip the quarantine; the tripping batch must
+  // also purge everything mallory left pending.
+  std::size_t purged = 0;
+  for (std::uint64_t wave = 0; wave < 5 && purged == 0; ++wave) {
+    purged = updater.submit(db, 46, "mallory", covered_area_forgery(wave))
+                 .purged_pending;
+  }
+  EXPECT_TRUE(updater.is_quarantined("mallory"));
+  EXPECT_GE(purged, 20u);
+  EXPECT_EQ(db.pending_count(46), 0u);
+
+  // The accomplice arrives after the quarantine: with mallory's stash gone
+  // there is nothing to corroborate, so the sybil's echo of the same area
+  // is merely parked — the trusted dataset is untouched.
+  stash.seed = 8;
+  const auto echo = updater.submit(db, 46, "sybil2", forge_uploads(stash));
+  EXPECT_EQ(echo.accepted, 0u);
+  EXPECT_EQ(echo.pending, 20u);
+  EXPECT_EQ(db.dataset(46).size(), trusted_before);
+}
+
 TEST_F(SecurityFixture, HonestContributorGainsReputation) {
   SpectrumDatabase db = make_db();
   SecureUpdater updater;

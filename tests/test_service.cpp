@@ -1,0 +1,370 @@
+// The serving-layer contract (docs/CONCURRENCY.md, "The serving layer"):
+// any number of concurrent downloads, uploads and malformed frames against
+// one SpectrumService leaves exactly the state a single-threaded
+// SpectrumDatabase reaches when the same upload batches are replayed in
+// the per-channel apply-ticket order — datasets, models and per-batch
+// ledgers all byte-identical. This suite (run under TSan in CI) enforces
+// that, plus the frontend's error isolation and stats accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "waldo/campaign/dataset_io.hpp"
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/core/protocol.hpp"
+#include "waldo/rf/environment.hpp"
+#include "waldo/runtime/seed.hpp"
+#include "waldo/sensors/sensor.hpp"
+#include "waldo/service/frontend.hpp"
+#include "waldo/service/service.hpp"
+
+namespace waldo::service {
+namespace {
+
+constexpr int kChannelA = 15;
+constexpr int kChannelB = 46;
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new rf::Environment(rf::make_metro_environment());
+    route_ = new geo::DrivePath(campaign::standard_route(*env_, 700, 29));
+    sensors::Sensor usrp(sensors::usrp_b200_spec(), 30);
+    usrp.calibrate();
+    data_a_ = new campaign::ChannelDataset(
+        campaign::collect_channel(*env_, usrp, kChannelA, route_->readings));
+    data_b_ = new campaign::ChannelDataset(
+        campaign::collect_channel(*env_, usrp, kChannelB, route_->readings));
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    delete route_;
+    delete data_a_;
+    delete data_b_;
+    env_ = nullptr;
+    route_ = nullptr;
+    data_a_ = nullptr;
+    data_b_ = nullptr;
+  }
+
+  static core::ModelConstructorConfig fast_config() {
+    core::ModelConstructorConfig cfg;
+    cfg.classifier = "naive_bayes";
+    cfg.num_localities = 3;
+    cfg.num_features = 2;
+    return cfg;
+  }
+
+  static void bootstrap(SpectrumService& service) {
+    service.ingest_campaign(*data_a_);
+    service.ingest_campaign(*data_b_);
+  }
+
+  /// A small honest-looking upload batch derived from stored readings.
+  static std::vector<campaign::Measurement> make_batch(
+      const campaign::ChannelDataset& data, std::mt19937_64& rng) {
+    std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
+    std::uniform_real_distribution<double> jitter(-40.0, 40.0);
+    std::uniform_real_distribution<double> noise(-2.0, 2.0);
+    std::vector<campaign::Measurement> batch;
+    for (int i = 0; i < 3; ++i) {
+      campaign::Measurement m = data.readings[pick(rng)];
+      m.position.east_m += jitter(rng);
+      m.position.north_m += jitter(rng);
+      m.rss_dbm += noise(rng);
+      m.iq.clear();
+      batch.push_back(m);
+    }
+    return batch;
+  }
+
+  static std::string csv_bytes(const campaign::ChannelDataset& ds) {
+    std::ostringstream os;
+    campaign::write_csv(os, ds);
+    return os.str();
+  }
+
+  static rf::Environment* env_;
+  static geo::DrivePath* route_;
+  static campaign::ChannelDataset* data_a_;
+  static campaign::ChannelDataset* data_b_;
+};
+
+rf::Environment* ServiceFixture::env_ = nullptr;
+geo::DrivePath* ServiceFixture::route_ = nullptr;
+campaign::ChannelDataset* ServiceFixture::data_a_ = nullptr;
+campaign::ChannelDataset* ServiceFixture::data_b_ = nullptr;
+
+TEST_F(ServiceFixture, MatchesSpectrumDatabaseOnSerialTraffic) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  core::SpectrumDatabase db(fast_config());
+  db.ingest_campaign(*data_a_);
+  db.ingest_campaign(*data_b_);
+
+  std::mt19937_64 rng(41);
+  for (int i = 0; i < 10; ++i) {
+    std::mt19937_64 branch(runtime::split_seed(41, i));
+    const auto batch = make_batch(*data_a_, branch);
+    const core::UploadResult from_service =
+        service.upload_measurements(kChannelA, batch, "alice");
+    const core::UploadResult from_db =
+        db.upload_measurements(kChannelA, batch, "alice");
+    EXPECT_EQ(from_service.accepted, from_db.accepted);
+    EXPECT_EQ(from_service.rejected, from_db.rejected);
+    EXPECT_EQ(from_service.pending, from_db.pending);
+    EXPECT_EQ(from_service.ticket, from_db.ticket);
+  }
+  EXPECT_EQ(csv_bytes(service.dataset_snapshot(kChannelA)),
+            csv_bytes(db.dataset(kChannelA)));
+  EXPECT_EQ(service.model(kChannelA)->serialize(),
+            db.model(kChannelA).serialize());
+  EXPECT_EQ(service.download_model(kChannelB), db.download_model(kChannelB));
+  EXPECT_EQ(service.pending_count(kChannelA), db.pending_count(kChannelA));
+  EXPECT_EQ(service.staleness(kChannelA), db.staleness(kChannelA));
+}
+
+TEST_F(ServiceFixture, UnknownChannelBehavesLikeDatabase) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  EXPECT_FALSE(service.has_channel(33));
+  EXPECT_THROW((void)service.model(33), std::out_of_range);
+  EXPECT_THROW((void)service.dataset_snapshot(33), std::out_of_range);
+  EXPECT_THROW(service.upload_measurements(33, {}, "alice"),
+               std::out_of_range);
+  EXPECT_THROW(service.ingest_campaign(campaign::ChannelDataset{}),
+               std::invalid_argument);
+  EXPECT_EQ(service.pending_count(33), 0u);
+  EXPECT_EQ(service.staleness(33), 0u);
+  const std::vector<int> expected{kChannelA, kChannelB};
+  EXPECT_EQ(service.channels(), expected);
+}
+
+TEST_F(ServiceFixture, ConcurrentDownloadsShareOneRebuild) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  constexpr unsigned kThreads = 8;
+  std::vector<std::string> descriptors(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&service, &descriptors, t] {
+        descriptors[t] = service.download_model(kChannelA);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  // The thundering herd built the model exactly once and everyone got the
+  // same bytes.
+  EXPECT_EQ(service.counters().models_built, 1u);
+  for (const std::string& d : descriptors) EXPECT_EQ(d, descriptors[0]);
+  EXPECT_EQ(service.counters().model_downloads, kThreads);
+  EXPECT_EQ(service.counters().bytes_served,
+            kThreads * descriptors[0].size());
+}
+
+TEST_F(ServiceFixture, PurgePendingDropsOnlyThatContributor) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  campaign::Measurement frontier;
+  frontier.position = geo::EnuPoint{-400'000.0, -400'000.0};
+  frontier.rss_dbm = -95.0;
+  (void)service.upload_measurements(
+      kChannelA, std::vector<campaign::Measurement>{frontier}, "mallory");
+  frontier.position.north_m += 2'000.0;  // outside corroboration radius
+  (void)service.upload_measurements(
+      kChannelA, std::vector<campaign::Measurement>{frontier}, "alice");
+  EXPECT_EQ(service.pending_count(kChannelA), 2u);
+  EXPECT_EQ(service.purge_pending("mallory"), 1u);
+  EXPECT_EQ(service.pending_count(kChannelA), 1u);
+}
+
+TEST_F(ServiceFixture, FrontendIsolatesMalformedAndThrowingRequests) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  ServiceFrontend frontend(service, 4);
+
+  const std::string valid = core::encode(core::ModelRequest{
+      .channel = kChannelA, .location = geo::EnuPoint{0.0, 0.0}});
+  const std::string unknown_channel = core::encode(core::ModelRequest{
+      .channel = 77, .location = geo::EnuPoint{0.0, 0.0}});
+  const std::string not_a_request =
+      core::encode(core::UploadResponse{.accepted = 1});
+
+  const std::string garbage = "complete garbage, not WSNP at all";
+  std::vector<std::future<std::string>> replies;
+  replies.push_back(frontend.submit(valid));
+  replies.push_back(frontend.submit(garbage));
+  replies.push_back(frontend.submit(unknown_channel));
+  replies.push_back(frontend.submit(not_a_request));
+
+  const core::Message ok = core::decode(replies[0].get());
+  EXPECT_NE(std::get_if<core::ModelResponse>(&ok), nullptr);
+  for (std::size_t i = 1; i < replies.size(); ++i) {
+    const core::Message reply = core::decode(replies[i].get());
+    EXPECT_NE(std::get_if<core::ErrorResponse>(&reply), nullptr)
+        << "request " << i << " should have been answered with an error";
+  }
+
+  const ServiceStats stats = frontend.stats();
+  EXPECT_EQ(stats.requests_served, 4u);
+  EXPECT_EQ(stats.error_responses, 3u);
+  EXPECT_EQ(stats.model_downloads, 1u);
+  EXPECT_GT(stats.bytes_served, 0u);
+  EXPECT_LE(stats.p50_handle_us, stats.p99_handle_us);
+}
+
+// The tentpole stress test: 8 worker threads and 8 client threads mix
+// model downloads, measurement uploads and malformed frames over the wire
+// against one service. Afterwards the recorded upload batches are replayed
+// in apply-ticket order against a fresh single-threaded SpectrumDatabase;
+// final datasets and models must match byte-for-byte, and every concurrent
+// upload ledger must equal its serial-replay counterpart.
+TEST_F(ServiceFixture, StressMatchesSerialReplay) {
+  constexpr unsigned kThreads = 8;
+  constexpr int kRequestsPerThread = 40;
+  constexpr int kChannels[] = {kChannelA, kChannelB};
+
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  ServiceFrontend frontend(service, kThreads);
+
+  struct RecordedUpload {
+    int channel = 0;
+    std::uint64_t ticket = 0;
+    std::string contributor;
+    std::vector<campaign::Measurement> readings;
+    core::UploadResponse response;
+  };
+  std::vector<std::vector<RecordedUpload>> recorded(kThreads);
+  std::vector<std::vector<std::string>> download_errors(kThreads);
+
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        std::mt19937_64 rng(runtime::split_seed(7'777, t));
+        std::uniform_real_distribution<double> roll(0.0, 1.0);
+        const std::string contributor = "device" + std::to_string(t);
+        for (int i = 0; i < kRequestsPerThread; ++i) {
+          const int channel = kChannels[rng() % 2];
+          const double kind = roll(rng);
+          if (kind < 0.45) {  // download
+            const std::string reply = frontend
+                .submit(core::encode(core::ModelRequest{
+                    .channel = channel, .location = geo::EnuPoint{}}))
+                .get();
+            const core::Message decoded = core::decode(reply);
+            if (const auto* err =
+                    std::get_if<core::ErrorResponse>(&decoded)) {
+              download_errors[t].push_back(err->reason);
+            } else {
+              ASSERT_NE(std::get_if<core::ModelResponse>(&decoded), nullptr);
+            }
+          } else if (kind < 0.80) {  // upload
+            const campaign::ChannelDataset& base =
+                channel == kChannelA ? *data_a_ : *data_b_;
+            RecordedUpload rec;
+            rec.channel = channel;
+            rec.contributor = contributor;
+            core::UploadRequest request;
+            request.channel = channel;
+            request.contributor = contributor;
+            request.readings = make_batch(base, rng);
+            const std::string wire = core::encode(request);
+            // Replay must feed the database exactly what the server saw:
+            // the wire round-trip drops server-only fields (true_rss_dbm),
+            // so record the decoded form, not the in-memory original.
+            rec.readings =
+                std::get<core::UploadRequest>(core::decode(wire)).readings;
+            const core::Message decoded =
+                core::decode(frontend.submit(wire).get());
+            const auto* response =
+                std::get_if<core::UploadResponse>(&decoded);
+            ASSERT_NE(response, nullptr);
+            rec.response = *response;
+            rec.ticket = response->ticket;
+            recorded[t].push_back(std::move(rec));
+          } else {  // malformed / hostile frames, mixed into live traffic
+            static const std::string kMalformed[] = {
+                "not wsnp",
+                "WSNP/1 model_request 99\nshort",
+                "WSNP/1 model_request 12\n15 0 0 junk\n",
+                "WSNP/1 upload_request 14\n15 eve 999999\n",
+                "WSNP/1 bogus_type 0\n",
+            };
+            const std::string reply =
+                frontend.submit(kMalformed[rng() % 5]).get();
+            const core::Message decoded = core::decode(reply);
+            ASSERT_NE(std::get_if<core::ErrorResponse>(&decoded), nullptr);
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+  // Every download of a bootstrapped channel must have succeeded.
+  for (const auto& errors : download_errors) EXPECT_TRUE(errors.empty());
+
+  // Serial replay: same per-channel batch order, single-threaded store.
+  core::SpectrumDatabase db(fast_config());
+  db.ingest_campaign(*data_a_);
+  db.ingest_campaign(*data_b_);
+  std::map<int, std::vector<const RecordedUpload*>> by_channel;
+  for (const auto& thread_records : recorded) {
+    for (const RecordedUpload& rec : thread_records) {
+      by_channel[rec.channel].push_back(&rec);
+    }
+  }
+  for (auto& [channel, uploads] : by_channel) {
+    std::sort(uploads.begin(), uploads.end(),
+              [](const RecordedUpload* a, const RecordedUpload* b) {
+                return a->ticket < b->ticket;
+              });
+    // Tickets are a dense per-channel sequence: no upload was lost or
+    // double-applied.
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      ASSERT_EQ(uploads[i]->ticket, i) << "channel " << channel;
+    }
+    for (const RecordedUpload* rec : uploads) {
+      const core::UploadResult serial =
+          db.upload_measurements(channel, rec->readings, rec->contributor);
+      EXPECT_EQ(serial.accepted, rec->response.accepted);
+      EXPECT_EQ(serial.rejected, rec->response.rejected);
+      EXPECT_EQ(serial.pending, rec->response.pending);
+      EXPECT_EQ(serial.ticket, rec->response.ticket);
+    }
+  }
+
+  std::uint64_t total_accepted = 0;
+  for (const int channel : kChannels) {
+    EXPECT_EQ(csv_bytes(service.dataset_snapshot(channel)),
+              csv_bytes(db.dataset(channel)))
+        << "dataset diverged on channel " << channel;
+    EXPECT_EQ(service.model(channel)->serialize(),
+              db.model(channel).serialize())
+        << "model diverged on channel " << channel;
+    EXPECT_EQ(service.pending_count(channel), db.pending_count(channel));
+  }
+  total_accepted = db.stats().uploads_accepted;
+  EXPECT_EQ(service.counters().uploads_accepted, total_accepted);
+  EXPECT_EQ(service.counters().uploads_rejected,
+            db.stats().uploads_rejected);
+
+  const ServiceStats stats = frontend.stats();
+  EXPECT_EQ(stats.requests_served, kThreads * kRequestsPerThread);
+  EXPECT_GT(stats.error_responses, 0u);  // the malformed frames
+  EXPECT_LE(stats.p50_handle_us, stats.p99_handle_us);
+}
+
+}  // namespace
+}  // namespace waldo::service
