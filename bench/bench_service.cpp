@@ -120,7 +120,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> downloads = download_wires(kRequests, 3);
   double serial_download_ns = 0.0;
 
-  bench::print_row({"workload", "workers", "ns/req", "req/s"}, 20);
+  bench::print_row({"workload", "workers", "ns/req", "req/s", "cache hit%"},
+                   20);
   const auto run = [&](const std::string& name,
                        const std::vector<std::string>& wires,
                        unsigned workers) {
@@ -128,10 +129,28 @@ int main(int argc, char** argv) {
     bootstrap(campaign, service);
     service::ServiceFrontend frontend(service, workers);
     const double ns = drive(frontend, wires);
+    // Descriptor-cache effectiveness over the run: downloads served from
+    // the cached serialized bytes vs downloads that paid a serialization.
+    const service::ServiceStats stats = frontend.stats();
+    const std::uint64_t lookups =
+        stats.descriptor_cache_hits + stats.descriptor_cache_misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(stats.descriptor_cache_hits) /
+                           static_cast<double>(lookups);
     bench::print_row({name, std::to_string(frontend.workers()),
-                      bench::fmt(ns, 0), bench::fmt(1e9 / ns, 0)},
+                      bench::fmt(ns, 0), bench::fmt(1e9 / ns, 0),
+                      bench::fmt(hit_rate, 1)},
                      20);
     report.add_rate(name, ns);
+    report.add_value(name + "_descriptor_cache_hits",
+                     static_cast<double>(stats.descriptor_cache_hits),
+                     "count");
+    report.add_value(name + "_descriptor_cache_misses",
+                     static_cast<double>(stats.descriptor_cache_misses),
+                     "count");
+    report.add_value(name + "_bytes_from_cache",
+                     static_cast<double>(stats.bytes_from_cache), "bytes");
     return ns;
   };
 

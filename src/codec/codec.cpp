@@ -1,0 +1,195 @@
+#include "waldo/codec/codec.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace waldo::codec {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+// Varints longer than this cannot encode a 64-bit value.
+constexpr std::size_t kMaxVarintBytes = 10;
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1u);
+}
+
+static_assert(std::endian::native == std::endian::little,
+              "waldo::codec assumes a little-endian host");
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char byte : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(byte)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool is_binary(std::string_view bytes) noexcept {
+  return bytes.size() >= kMagic.size() &&
+         bytes.compare(0, kMagic.size(), kMagic) == 0;
+}
+
+Writer::Writer() {
+  buf_.append(kMagic);
+  u64(kFormatVersion);
+}
+
+void Writer::u8(std::uint8_t value) {
+  buf_.push_back(static_cast<char>(value));
+}
+
+void Writer::u64(std::uint64_t value) {
+  while (value >= 0x80u) {
+    buf_.push_back(static_cast<char>((value & 0x7Fu) | 0x80u));
+    value >>= 7;
+  }
+  buf_.push_back(static_cast<char>(value));
+}
+
+void Writer::i64(std::int64_t value) { u64(zigzag(value)); }
+
+void Writer::f64(double value) {
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  char raw[8];
+  std::memcpy(raw, &bits, 8);
+  buf_.append(raw, 8);
+}
+
+void Writer::str(std::string_view value) {
+  u64(value.size());
+  buf_.append(value);
+}
+
+void Writer::f64_array(const std::vector<double>& values) {
+  u64(values.size());
+  for (const double v : values) f64(v);
+}
+
+std::string Writer::finish() && {
+  const std::uint32_t crc = crc32(buf_);
+  char raw[4];
+  std::memcpy(raw, &crc, 4);
+  buf_.append(raw, 4);
+  return std::move(buf_);
+}
+
+Reader::Reader(std::string_view descriptor) {
+  if (!is_binary(descriptor)) {
+    throw Error("bad magic (not a binary descriptor)");
+  }
+  if (descriptor.size() < kMagic.size() + 1 + 4) {
+    throw Error("descriptor truncated (shorter than header + trailer)");
+  }
+  const std::string_view body =
+      descriptor.substr(0, descriptor.size() - 4);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, descriptor.data() + body.size(), 4);
+  if (crc32(body) != stored) {
+    throw Error("CRC mismatch (descriptor corrupted)");
+  }
+  pos_ = body.data() + kMagic.size();
+  end_ = body.data() + body.size();
+  const std::uint64_t version = u64();
+  if (version != kFormatVersion) {
+    throw Error("unsupported format version " + std::to_string(version) +
+                " (this build reads v" + std::to_string(kFormatVersion) +
+                ")");
+  }
+}
+
+void Reader::need(std::size_t bytes, const char* what) const {
+  if (remaining() < bytes) {
+    throw Error(std::string("descriptor truncated reading ") + what);
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1, "u8");
+  return static_cast<std::uint8_t>(*pos_++);
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    need(1, "varint");
+    const auto byte = static_cast<std::uint8_t>(*pos_++);
+    if (i == kMaxVarintBytes - 1 && byte > 1u) {
+      throw Error("varint overflows 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << (7 * i);
+    if ((byte & 0x80u) == 0) return value;
+  }
+  throw Error("varint longer than 10 bytes");
+}
+
+std::int64_t Reader::i64() { return unzigzag(u64()); }
+
+double Reader::f64() {
+  need(8, "f64");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, pos_, 8);
+  pos_ += 8;
+  return std::bit_cast<double>(bits);
+}
+
+std::string Reader::str() {
+  const std::uint64_t len = u64();
+  if (len > remaining()) {
+    throw Error("string length " + std::to_string(len) +
+                " exceeds remaining payload");
+  }
+  std::string out(pos_, static_cast<std::size_t>(len));
+  pos_ += len;
+  return out;
+}
+
+std::size_t Reader::count(std::size_t min_bytes_per_item) {
+  const std::uint64_t n = u64();
+  if (min_bytes_per_item == 0) min_bytes_per_item = 1;
+  if (n > remaining() / min_bytes_per_item) {
+    throw Error("element count " + std::to_string(n) +
+                " exceeds remaining payload");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<double> Reader::f64_array() {
+  const std::size_t n = count(8);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(f64());
+  return out;
+}
+
+void Reader::expect_done() const {
+  if (remaining() != 0) {
+    throw Error(std::to_string(remaining()) +
+                " trailing payload byte(s) after descriptor");
+  }
+}
+
+}  // namespace waldo::codec

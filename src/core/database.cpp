@@ -102,6 +102,7 @@ void SpectrumDatabase::ingest_campaign(campaign::ChannelDataset dataset) {
                     std::make_move_iterator(dataset.readings.end()));
   }
   model_cache_.erase(channel);
+  descriptor_cache_.erase(channel);
   accepted_since_build_[channel] = 0;
 }
 
@@ -142,10 +143,23 @@ const WhiteSpaceModel& SpectrumDatabase::model(int channel) {
 }
 
 std::string SpectrumDatabase::download_model(int channel) {
-  std::string descriptor = model(channel).serialize();
+  // Serve the serialized descriptor cached alongside the model: a repeat
+  // download is a string copy, not a re-serialization. `model(channel)`
+  // (re)builds on demand, and both caches are erased together, so a live
+  // descriptor_cache_ entry always matches the cached model.
+  auto it = descriptor_cache_.find(channel);
+  if (it == descriptor_cache_.end() || !model_cache_.contains(channel)) {
+    ++stats_.descriptor_cache_misses;
+    it = descriptor_cache_
+             .insert_or_assign(channel, model(channel).serialize())
+             .first;
+  } else {
+    ++stats_.descriptor_cache_hits;
+    stats_.bytes_from_cache += it->second.size();
+  }
   ++stats_.model_downloads;
-  stats_.bytes_served += descriptor.size();
-  return descriptor;
+  stats_.bytes_served += it->second.size();
+  return it->second;
 }
 
 SpectrumDatabase::UploadResult SpectrumDatabase::upload_measurements(
@@ -172,6 +186,7 @@ SpectrumDatabase::UploadResult SpectrumDatabase::upload_measurements(
     stale += result.accepted;
     if (stale >= upload_policy_.rebuild_threshold) {
       model_cache_.erase(channel);
+      descriptor_cache_.erase(channel);
       stale = 0;
     }
   }

@@ -31,6 +31,13 @@ struct DatabaseStats {
   std::size_t bytes_served = 0;
   std::size_t uploads_accepted = 0;
   std::size_t uploads_rejected = 0;
+  /// Downloads answered from the cached serialized descriptor (no
+  /// re-serialization) vs. downloads that had to serialize the model.
+  /// The cache is invalidated together with the model cache.
+  std::size_t descriptor_cache_hits = 0;
+  std::size_t descriptor_cache_misses = 0;
+  /// Bytes of `bytes_served` that came straight from the cache.
+  std::size_t bytes_from_cache = 0;
 };
 
 struct UploadPolicy {
@@ -174,6 +181,8 @@ class SpectrumDatabase : public SpectrumStore {
   std::map<int, std::uint64_t> uploads_applied_;
   std::map<int, std::vector<PendingReading>> pending_;
   std::map<int, WhiteSpaceModel> model_cache_;
+  /// Serialized form of the entry in model_cache_; erased alongside it.
+  std::map<int, std::string> descriptor_cache_;
   DatabaseStats stats_;
 };
 

@@ -1,10 +1,12 @@
 #include "waldo/core/model.hpp"
 
 #include <iomanip>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "waldo/codec/codec.hpp"
 #include "waldo/core/features.hpp"
 #include "waldo/ml/decision_tree.hpp"
 #include "waldo/ml/kmeans.hpp"
@@ -79,6 +81,7 @@ int WhiteSpaceModel::predict(std::span<const double> feature_row) const {
 }
 
 void WhiteSpaceModel::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "waldo_model v1 channel=" << channel_
       << " features=" << num_features_ << " kind=" << classifier_kind_
@@ -97,6 +100,7 @@ void WhiteSpaceModel::save(std::ostream& out) const {
 }
 
 void WhiteSpaceModel::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string magic, version;
   in >> magic >> version;
   if (magic != "waldo_model" || version != "v1") {
@@ -146,16 +150,80 @@ void WhiteSpaceModel::load(std::istream& in) {
   if (!in) throw std::runtime_error("truncated model descriptor");
 }
 
+void WhiteSpaceModel::save(codec::Writer& out) const {
+  out.i64(channel_);
+  out.i64(num_features_);
+  out.str(classifier_kind_);
+  out.u64(localities_.size());
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    out.f64(centroids_(c, 0));
+    out.f64(centroids_(c, 1));
+  }
+  for (const Locality& l : localities_) {
+    if (l.constant) {
+      out.u8(0);
+      out.i64(l.constant_label);
+    } else {
+      out.u8(1);
+      l.classifier->save(out);
+    }
+  }
+}
+
+void WhiteSpaceModel::load(codec::Reader& in) {
+  channel_ = static_cast<int>(in.i64());
+  num_features_ = static_cast<int>(in.i64());
+  classifier_kind_ = in.str();
+  // Validates the kind up front so a corrupt string fails here, not
+  // halfway through a locality.
+  (void)make_classifier(classifier_kind_);
+  // Each locality contributes a 16-byte centroid plus at least a tag byte.
+  const std::size_t count = in.count(17);
+  centroids_ = ml::Matrix(count, 2);
+  for (std::size_t c = 0; c < count; ++c) {
+    centroids_(c, 0) = in.f64();
+    centroids_(c, 1) = in.f64();
+  }
+  localities_.clear();
+  localities_.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    Locality l;
+    const std::uint8_t tag = in.u8();
+    if (tag == 0) {
+      l.constant = true;
+      l.constant_label = static_cast<int>(in.i64());
+    } else if (tag == 1) {
+      l.classifier = make_classifier(classifier_kind_);
+      l.classifier->load(in);
+    } else {
+      throw codec::Error("bad locality tag");
+    }
+    localities_.push_back(std::move(l));
+  }
+  in.expect_done();
+}
+
 std::string WhiteSpaceModel::serialize() const {
+  codec::Writer w;
+  save(w);
+  return std::move(w).finish();
+}
+
+std::string WhiteSpaceModel::serialize_text() const {
   std::ostringstream os;
   save(os);
   return os.str();
 }
 
-WhiteSpaceModel WhiteSpaceModel::deserialize(const std::string& text) {
-  std::istringstream is(text);
+WhiteSpaceModel WhiteSpaceModel::deserialize(const std::string& bytes) {
   WhiteSpaceModel m;
-  m.load(is);
+  if (codec::is_binary(bytes)) {
+    codec::Reader r(bytes);
+    m.load(r);
+  } else {
+    std::istringstream is(bytes);
+    m.load(is);
+  }
   return m;
 }
 

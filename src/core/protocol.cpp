@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -52,6 +53,7 @@ void require_drained(std::istream& is, const char* what) {
 
 [[nodiscard]] std::string encode_body(const Message& m) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::setprecision(17);
   struct Visitor {
     std::ostringstream& os;
@@ -60,7 +62,10 @@ void require_drained(std::istream& is, const char* what) {
          << r.location.north_m << "\n";
     }
     void operator()(const ModelResponse& r) {
-      os << r.channel << "\n" << r.descriptor;
+      // Length-prefixed: binary descriptors may contain any byte value,
+      // so the old "rest of the body" framing is replaced by an explicit
+      // byte count on the first line.
+      os << r.channel << " " << r.descriptor.size() << "\n" << r.descriptor;
     }
     void operator()(const UploadRequest& r) {
       if (r.contributor.empty() ||
@@ -88,6 +93,7 @@ void require_drained(std::istream& is, const char* what) {
 [[nodiscard]] Message decode_body(const std::string& type,
                                   const std::string& body) {
   std::istringstream is(body);
+  is.imbue(std::locale::classic());
   if (type == "model_request") {
     ModelRequest r;
     if (!(is >> r.channel >> r.location.east_m >> r.location.north_m)) {
@@ -97,15 +103,26 @@ void require_drained(std::istream& is, const char* what) {
     return r;
   }
   if (type == "model_response") {
+    // First line is "<channel> <descriptor-bytes>"; the descriptor
+    // follows raw (it is binary, so it is never parsed as text here).
     ModelResponse r;
-    std::string first_line;
-    if (!std::getline(is, first_line)) {
+    const auto nl = body.find('\n');
+    if (nl == std::string::npos) {
       throw std::runtime_error("malformed model_response body");
     }
-    r.channel = parse_int_field<int>(first_line, "model_response channel");
-    std::ostringstream rest;
-    rest << is.rdbuf();
-    r.descriptor = rest.str();
+    const std::string_view line(body.data(), nl);
+    const auto space = line.find(' ');
+    if (space == std::string_view::npos) {
+      throw std::runtime_error("malformed model_response body");
+    }
+    r.channel =
+        parse_int_field<int>(line.substr(0, space), "model_response channel");
+    const auto declared = parse_int_field<std::size_t>(
+        line.substr(space + 1), "model_response descriptor length");
+    r.descriptor = body.substr(nl + 1);
+    if (r.descriptor.size() != declared) {
+      throw std::runtime_error("WSNP: descriptor length mismatch");
+    }
     return r;
   }
   if (type == "upload_request") {
@@ -151,6 +168,7 @@ void require_drained(std::istream& is, const char* what) {
 std::string encode(const Message& message) {
   const std::string body = encode_body(message);
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << kMagic << " " << type_name(message) << " " << body.size() << "\n"
      << body;
   return os.str();
@@ -162,6 +180,7 @@ Message decode(const std::string& wire) {
     throw std::runtime_error("WSNP: missing header line");
   }
   std::istringstream header(wire.substr(0, header_end));
+  header.imbue(std::locale::classic());
   std::string magic, type;
   std::string length_token;
   if (!(header >> magic >> type >> length_token) || magic != kMagic) {

@@ -1,6 +1,6 @@
 #include "waldo/ml/classifier.hpp"
 
-#include <sstream>
+#include "waldo/codec/codec.hpp"
 
 namespace waldo::ml {
 
@@ -12,9 +12,9 @@ std::vector<int> Classifier::predict_all(const Matrix& x) const {
 }
 
 std::size_t Classifier::descriptor_size_bytes() const {
-  std::ostringstream os;
-  save(os);
-  return os.str().size();
+  codec::Writer w;
+  save(w);
+  return std::move(w).finish().size();
 }
 
 }  // namespace waldo::ml

@@ -5,9 +5,11 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
 
+#include "waldo/codec/codec.hpp"
 #include "waldo/ml/metrics.hpp"
 
 namespace waldo::ml {
@@ -135,6 +137,7 @@ int DecisionTree::predict(std::span<const double> x) const {
 }
 
 void DecisionTree::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "decision_tree " << nodes_.size() << " " << depth_ << "\n";
   for (const Node& n : nodes_) {
@@ -144,6 +147,7 @@ void DecisionTree::save(std::ostream& out) const {
 }
 
 void DecisionTree::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string tag;
   std::size_t count = 0;
   in >> tag >> count >> depth_;
@@ -155,6 +159,48 @@ void DecisionTree::load(std::istream& in) {
     in >> n.feature >> n.threshold >> n.left >> n.right >> n.label;
   }
   if (!in) throw std::runtime_error("truncated decision tree descriptor");
+}
+
+void DecisionTree::save(codec::Writer& out) const {
+  out.u8(static_cast<std::uint8_t>(WireFamily::kDecisionTree));
+  out.u64(nodes_.size());
+  out.u64(depth_);
+  for (const Node& n : nodes_) {
+    out.i64(n.feature);
+    out.f64(n.threshold);
+    out.i64(n.left);
+    out.i64(n.right);
+    out.i64(n.label);
+  }
+}
+
+void DecisionTree::load(codec::Reader& in) {
+  if (in.u8() != static_cast<std::uint8_t>(WireFamily::kDecisionTree)) {
+    throw codec::Error("payload is not a decision tree");
+  }
+  // Every node is at least 12 payload bytes (4 varints + threshold).
+  const std::size_t node_count = in.count(12);
+  depth_ = static_cast<std::size_t>(in.u64());
+  nodes_.assign(node_count, Node{});
+  for (std::size_t i = 0; i < node_count; ++i) {
+    Node& n = nodes_[i];
+    n.feature = static_cast<int>(in.i64());
+    n.threshold = in.f64();
+    n.left = static_cast<std::int32_t>(in.i64());
+    n.right = static_cast<std::int32_t>(in.i64());
+    n.label = static_cast<int>(in.i64());
+    // The builder always assigns children larger ids than their parent;
+    // require that here so a crafted descriptor can neither index out of
+    // bounds nor form a cycle that predict() would walk forever.
+    if (n.feature >= 0) {
+      const auto self = static_cast<std::int64_t>(i);
+      const auto limit = static_cast<std::int64_t>(node_count);
+      if (n.left <= self || n.left >= limit || n.right <= self ||
+          n.right >= limit) {
+        throw codec::Error("decision tree child index out of range");
+      }
+    }
+  }
 }
 
 }  // namespace waldo::ml

@@ -1,9 +1,12 @@
 // Binary-classifier interface shared by every model Waldo can ship to a
-// white-space device. Models must be (de)serializable to a compact text
+// white-space device. Models must be (de)serializable to a compact
 // descriptor — descriptor size is itself an evaluation metric of the paper
-// (Section 5: ~4 kB Naive Bayes vs ~40 kB SVM).
+// (Section 5: ~4 kB Naive Bayes vs ~40 kB SVM). Descriptors have two wire
+// forms: the compact binary waldo::codec format (v1, the default) and the
+// legacy text format (v0, kept for old devices and files).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -13,7 +16,25 @@
 
 #include "waldo/ml/matrix.hpp"
 
+namespace waldo::codec {
+class Reader;
+class Writer;
+}  // namespace waldo::codec
+
 namespace waldo::ml {
+
+/// One-byte family tag opening every binary classifier payload; a load
+/// that sees the wrong tag rejects the descriptor immediately instead of
+/// misinterpreting another family's doubles. Values are wire format —
+/// append only, never renumber (docs/WIRE_FORMAT.md).
+enum class WireFamily : std::uint8_t {
+  kStandardizer = 0,
+  kSvm = 1,
+  kNaiveBayes = 2,
+  kDecisionTree = 3,
+  kKnn = 4,
+  kLogisticRegression = 5,
+};
 
 class Classifier {
  public:
@@ -31,12 +52,21 @@ class Classifier {
   /// Short model-family identifier ("svm", "naive_bayes", ...).
   [[nodiscard]] virtual std::string kind() const = 0;
 
-  /// Writes / reads the full model descriptor. The descriptor is what a
-  /// WSD downloads from the spectrum database.
+  /// Writes / reads the legacy text (v0) descriptor. Implementations
+  /// imbue std::locale::classic() so a comma-decimal global locale cannot
+  /// corrupt the doubles on round trip.
   virtual void save(std::ostream& out) const = 0;
   virtual void load(std::istream& in) = 0;
 
-  /// Descriptor size in bytes (serialises to a string internally).
+  /// Writes / reads the binary (v1) payload: a WireFamily tag byte
+  /// followed by the family fields. Raw IEEE-754 doubles — round trips
+  /// are bit-exact. The descriptor is what a WSD downloads from the
+  /// spectrum database.
+  virtual void save(codec::Writer& out) const = 0;
+  virtual void load(codec::Reader& in) = 0;
+
+  /// Binary (v1) descriptor size in bytes, container overhead included
+  /// (serialises to a string internally).
   [[nodiscard]] std::size_t descriptor_size_bytes() const;
 };
 

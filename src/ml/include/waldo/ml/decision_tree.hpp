@@ -25,6 +25,8 @@ class DecisionTree final : public Classifier {
   [[nodiscard]] std::string kind() const override { return "decision_tree"; }
   void save(std::ostream& out) const override;
   void load(std::istream& in) override;
+  void save(codec::Writer& out) const override;
+  void load(codec::Reader& in) override;
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();

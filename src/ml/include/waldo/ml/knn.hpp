@@ -23,6 +23,8 @@ class KnnClassifier final : public Classifier {
   [[nodiscard]] std::string kind() const override { return "knn"; }
   void save(std::ostream& out) const override;
   void load(std::istream& in) override;
+  void save(codec::Writer& out) const override;
+  void load(codec::Reader& in) override;
 
  private:
   KnnConfig config_;

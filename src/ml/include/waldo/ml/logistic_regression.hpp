@@ -27,6 +27,8 @@ class LogisticRegression final : public Classifier {
   }
   void save(std::ostream& out) const override;
   void load(std::istream& in) override;
+  void save(codec::Writer& out) const override;
+  void load(codec::Reader& in) override;
 
   /// P(safe | x).
   [[nodiscard]] double probability(std::span<const double> x) const;

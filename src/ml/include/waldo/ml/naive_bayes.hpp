@@ -18,6 +18,8 @@ class GaussianNaiveBayes final : public Classifier {
   [[nodiscard]] std::string kind() const override { return "naive_bayes"; }
   void save(std::ostream& out) const override;
   void load(std::istream& in) override;
+  void save(codec::Writer& out) const override;
+  void load(codec::Reader& in) override;
 
   /// Log posterior ratio log P(safe|x) - log P(not_safe|x).
   [[nodiscard]] double decision_value(std::span<const double> x) const;

@@ -9,6 +9,11 @@
 
 #include "waldo/ml/matrix.hpp"
 
+namespace waldo::codec {
+class Reader;
+class Writer;
+}  // namespace waldo::codec
+
 namespace waldo::ml {
 
 class Standardizer {
@@ -30,8 +35,13 @@ class Standardizer {
   [[nodiscard]] std::vector<double> transform(
       std::span<const double> row) const;
 
+  /// Legacy text (v0) form; streams are imbued with the classic locale.
   void save(std::ostream& out) const;
   void load(std::istream& in);
+
+  /// Binary (v1) payload over the waldo::codec wire format.
+  void save(codec::Writer& out) const;
+  void load(codec::Reader& in);
 
   [[nodiscard]] const std::vector<double>& mean() const noexcept {
     return mean_;

@@ -40,6 +40,8 @@ class Svm final : public Classifier {
   [[nodiscard]] std::string kind() const override { return "svm"; }
   void save(std::ostream& out) const override;
   void load(std::istream& in) override;
+  void save(codec::Writer& out) const override;
+  void load(codec::Reader& in) override;
 
   /// Signed decision value f(x); >= 0 predicts safe.
   [[nodiscard]] double decision_value(std::span<const double> x) const;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
+#include "waldo/codec/codec.hpp"
 #include "waldo/ml/metrics.hpp"
 
 namespace waldo::ml {
@@ -40,6 +42,7 @@ int KnnClassifier::predict(std::span<const double> x_raw) const {
 }
 
 void KnnClassifier::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "knn " << config_.k << " " << train_.rows() << " " << train_.cols()
       << "\n";
@@ -52,6 +55,7 @@ void KnnClassifier::save(std::ostream& out) const {
 }
 
 void KnnClassifier::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string tag;
   std::size_t rows = 0, cols = 0;
   in >> tag >> config_.k >> rows >> cols;
@@ -64,6 +68,39 @@ void KnnClassifier::load(std::istream& in) {
     for (std::size_t c = 0; c < cols; ++c) in >> train_(r, c);
   }
   if (!in) throw std::runtime_error("truncated knn descriptor");
+}
+
+void KnnClassifier::save(codec::Writer& out) const {
+  out.u8(static_cast<std::uint8_t>(WireFamily::kKnn));
+  out.u64(config_.k);
+  scaler_.save(out);
+  out.u64(train_.rows());
+  out.u64(train_.cols());
+  for (std::size_t r = 0; r < train_.rows(); ++r) {
+    out.i64(labels_[r]);
+    for (const double v : train_.row(r)) out.f64(v);
+  }
+}
+
+void KnnClassifier::load(codec::Reader& in) {
+  if (in.u8() != static_cast<std::uint8_t>(WireFamily::kKnn)) {
+    throw codec::Error("payload is not a knn");
+  }
+  config_.k = static_cast<std::size_t>(in.u64());
+  scaler_.load(in);
+  // Every row carries at least its label varint; the cols guard below
+  // bounds the double block before the matrix is allocated.
+  const std::size_t rows = in.count(1);
+  const auto cols = static_cast<std::size_t>(in.u64());
+  if (rows != 0 && cols > in.remaining() / rows / 8) {
+    throw codec::Error("knn training block exceeds payload");
+  }
+  train_ = Matrix(rows, cols);
+  labels_.assign(rows, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    labels_[r] = static_cast<int>(in.i64());
+    for (std::size_t c = 0; c < cols; ++c) train_(r, c) = in.f64();
+  }
 }
 
 }  // namespace waldo::ml

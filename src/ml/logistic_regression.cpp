@@ -3,9 +3,11 @@
 #include <cmath>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
 
+#include "waldo/codec/codec.hpp"
 #include "waldo/ml/metrics.hpp"
 
 namespace waldo::ml {
@@ -136,6 +138,7 @@ int LogisticRegression::predict(std::span<const double> x) const {
 }
 
 void LogisticRegression::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "logistic_regression " << weights_.size() << " "
       << (single_class_ ? 1 : 0) << " " << only_class_ << "\n";
@@ -146,6 +149,7 @@ void LogisticRegression::save(std::ostream& out) const {
 }
 
 void LogisticRegression::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string tag;
   std::size_t d = 0;
   int single = 0;
@@ -159,6 +163,32 @@ void LogisticRegression::load(std::istream& in) {
   scaler_.load(in);
   for (double& w : weights_) in >> w;
   if (!in) throw std::runtime_error("truncated logistic descriptor");
+}
+
+void LogisticRegression::save(codec::Writer& out) const {
+  out.u8(static_cast<std::uint8_t>(WireFamily::kLogisticRegression));
+  out.u8(single_class_ ? 1 : 0);
+  out.i64(only_class_);
+  if (single_class_) return;
+  scaler_.save(out);
+  out.f64_array(weights_);
+}
+
+void LogisticRegression::load(codec::Reader& in) {
+  if (in.u8() !=
+      static_cast<std::uint8_t>(WireFamily::kLogisticRegression)) {
+    throw codec::Error("payload is not a logistic regression");
+  }
+  const std::uint8_t single = in.u8();
+  if (single > 1) throw codec::Error("bad logistic single-class flag");
+  single_class_ = single != 0;
+  only_class_ = static_cast<int>(in.i64());
+  if (single_class_) {
+    weights_.clear();
+    return;
+  }
+  scaler_.load(in);
+  weights_ = in.f64_array();
 }
 
 }  // namespace waldo::ml

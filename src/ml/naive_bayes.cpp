@@ -3,10 +3,12 @@
 #include <cmath>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <numbers>
 #include <ostream>
 #include <stdexcept>
 
+#include "waldo/codec/codec.hpp"
 #include "waldo/ml/metrics.hpp"
 
 namespace waldo::ml {
@@ -88,6 +90,7 @@ int GaussianNaiveBayes::predict(std::span<const double> x) const {
 }
 
 void GaussianNaiveBayes::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "naive_bayes " << dims_ << " " << (single_class_ ? 1 : 0) << " "
       << only_class_ << "\n";
@@ -102,6 +105,7 @@ void GaussianNaiveBayes::save(std::ostream& out) const {
 }
 
 void GaussianNaiveBayes::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string tag;
   int single = 0;
   in >> tag >> dims_ >> single >> only_class_;
@@ -118,6 +122,39 @@ void GaussianNaiveBayes::load(std::istream& in) {
     for (double& v : m.var) in >> v;
   }
   if (!in) throw std::runtime_error("truncated naive bayes descriptor");
+}
+
+void GaussianNaiveBayes::save(codec::Writer& out) const {
+  out.u8(static_cast<std::uint8_t>(WireFamily::kNaiveBayes));
+  out.u64(dims_);
+  out.u8(single_class_ ? 1 : 0);
+  out.i64(only_class_);
+  if (single_class_) return;
+  for (const auto& m : classes_) {
+    out.f64(m.log_prior);
+    out.f64_array(m.mean);
+    out.f64_array(m.var);
+  }
+}
+
+void GaussianNaiveBayes::load(codec::Reader& in) {
+  if (in.u8() != static_cast<std::uint8_t>(WireFamily::kNaiveBayes)) {
+    throw codec::Error("payload is not a naive bayes");
+  }
+  dims_ = static_cast<std::size_t>(in.u64());
+  const std::uint8_t single = in.u8();
+  if (single > 1) throw codec::Error("bad naive bayes single-class flag");
+  single_class_ = single != 0;
+  only_class_ = static_cast<int>(in.i64());
+  if (single_class_) return;
+  for (auto& m : classes_) {
+    m.log_prior = in.f64();
+    m.mean = in.f64_array();
+    m.var = in.f64_array();
+    if (m.mean.size() != dims_ || m.var.size() != dims_) {
+      throw codec::Error("naive bayes class-parameter length mismatch");
+    }
+  }
 }
 
 }  // namespace waldo::ml

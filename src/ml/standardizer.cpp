@@ -3,8 +3,12 @@
 #include <cmath>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
+
+#include "waldo/codec/codec.hpp"
+#include "waldo/ml/classifier.hpp"
 
 namespace waldo::ml {
 
@@ -63,6 +67,7 @@ std::vector<double> Standardizer::transform(
 }
 
 void Standardizer::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "standardizer " << mean_.size() << "\n";
   for (const double m : mean_) out << m << " ";
@@ -72,6 +77,7 @@ void Standardizer::save(std::ostream& out) const {
 }
 
 void Standardizer::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string tag;
   std::size_t d = 0;
   in >> tag >> d;
@@ -83,6 +89,23 @@ void Standardizer::load(std::istream& in) {
   for (double& m : mean_) in >> m;
   for (double& s : scale_) in >> s;
   if (!in) throw std::runtime_error("truncated standardizer descriptor");
+}
+
+void Standardizer::save(codec::Writer& out) const {
+  out.u8(static_cast<std::uint8_t>(WireFamily::kStandardizer));
+  out.f64_array(mean_);
+  out.f64_array(scale_);
+}
+
+void Standardizer::load(codec::Reader& in) {
+  if (in.u8() != static_cast<std::uint8_t>(WireFamily::kStandardizer)) {
+    throw codec::Error("payload is not a standardizer");
+  }
+  mean_ = in.f64_array();
+  scale_ = in.f64_array();
+  if (scale_.size() != mean_.size()) {
+    throw codec::Error("standardizer mean/scale length mismatch");
+  }
 }
 
 }  // namespace waldo::ml

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <random>
 #include <stdexcept>
 
+#include "waldo/codec/codec.hpp"
 #include "waldo/ml/metrics.hpp"
 
 namespace waldo::ml {
@@ -190,6 +192,7 @@ int Svm::predict(std::span<const double> x) const {
 }
 
 void Svm::save(std::ostream& out) const {
+  out.imbue(std::locale::classic());
   out << std::setprecision(17);
   out << "svm " << (config_.kernel == SvmKernel::kRbf ? "rbf" : "linear")
       << " " << gamma_ << " " << bias_ << " " << (single_class_ ? 1 : 0)
@@ -204,6 +207,7 @@ void Svm::save(std::ostream& out) const {
 }
 
 void Svm::load(std::istream& in) {
+  in.imbue(std::locale::classic());
   std::string tag, kernel_name;
   int single = 0;
   std::size_t rows = 0, cols = 0;
@@ -222,6 +226,57 @@ void Svm::load(std::istream& in) {
     for (std::size_t c = 0; c < cols; ++c) in >> sv_(s, c);
   }
   if (!in) throw std::runtime_error("truncated svm descriptor");
+}
+
+void Svm::save(codec::Writer& out) const {
+  out.u8(static_cast<std::uint8_t>(WireFamily::kSvm));
+  out.u8(config_.kernel == SvmKernel::kRbf ? 1 : 0);
+  out.f64(gamma_);
+  out.f64(bias_);
+  out.u8(single_class_ ? 1 : 0);
+  out.i64(only_class_);
+  if (single_class_) return;
+  scaler_.save(out);
+  out.u64(sv_.rows());
+  out.u64(sv_.cols());
+  out.f64_array(sv_coef_);
+  for (std::size_t s = 0; s < sv_.rows(); ++s) {
+    for (const double v : sv_.row(s)) out.f64(v);
+  }
+}
+
+void Svm::load(codec::Reader& in) {
+  if (in.u8() != static_cast<std::uint8_t>(WireFamily::kSvm)) {
+    throw codec::Error("payload is not an svm");
+  }
+  const std::uint8_t kernel_tag = in.u8();
+  if (kernel_tag > 1) throw codec::Error("unknown svm kernel tag");
+  config_.kernel = kernel_tag == 1 ? SvmKernel::kRbf : SvmKernel::kLinear;
+  gamma_ = in.f64();
+  bias_ = in.f64();
+  const std::uint8_t single = in.u8();
+  if (single > 1) throw codec::Error("bad svm single-class flag");
+  single_class_ = single != 0;
+  only_class_ = static_cast<int>(in.i64());
+  if (single_class_) {
+    sv_ = Matrix();
+    sv_coef_.clear();
+    return;
+  }
+  scaler_.load(in);
+  const std::size_t rows = in.count(8);
+  const auto cols = static_cast<std::size_t>(in.u64());
+  sv_coef_ = in.f64_array();
+  if (sv_coef_.size() != rows) {
+    throw codec::Error("svm coefficient count mismatch");
+  }
+  if (rows != 0 && cols > in.remaining() / 8 / rows) {
+    throw codec::Error("svm support-vector block exceeds payload");
+  }
+  sv_ = Matrix(rows, cols);
+  for (std::size_t s = 0; s < rows; ++s) {
+    for (std::size_t c = 0; c < cols; ++c) sv_(s, c) = in.f64();
+  }
 }
 
 }  // namespace waldo::ml

@@ -29,6 +29,12 @@ struct ServiceStats {
   std::uint64_t uploads_rejected = 0;
   std::uint64_t uploads_pending = 0;
   std::uint64_t rebuilds = 0;  ///< models built by the service
+  /// Descriptor-cache effectiveness: downloads served from the cached
+  /// serialized descriptor vs. downloads that had to serialize, and the
+  /// bytes that came from the cache (subset of the service's bytes).
+  std::uint64_t descriptor_cache_hits = 0;
+  std::uint64_t descriptor_cache_misses = 0;
+  std::uint64_t bytes_from_cache = 0;
   double p50_handle_us = 0.0;  ///< handle-latency quantiles (microseconds)
   double p99_handle_us = 0.0;
   std::uint64_t max_handle_us = 0;

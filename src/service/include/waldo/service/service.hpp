@@ -46,6 +46,12 @@ struct ServiceCounters {
   std::uint64_t uploads_accepted = 0;
   std::uint64_t uploads_rejected = 0;
   std::uint64_t uploads_pending = 0;
+  /// Downloads served straight from the descriptor cached inside the
+  /// model snapshot (a string copy) vs. downloads that serialized the
+  /// model. hits + misses == model_downloads.
+  std::uint64_t descriptor_cache_hits = 0;
+  std::uint64_t descriptor_cache_misses = 0;
+  std::uint64_t bytes_from_cache = 0;  ///< subset of bytes_served
 };
 
 /// Thread-safe, per-channel-sharded spectrum store. Mirrors
@@ -119,6 +125,9 @@ class SpectrumService final : public core::SpectrumStore {
   std::atomic<std::uint64_t> uploads_accepted_{0};
   std::atomic<std::uint64_t> uploads_rejected_{0};
   std::atomic<std::uint64_t> uploads_pending_{0};
+  std::atomic<std::uint64_t> descriptor_cache_hits_{0};
+  std::atomic<std::uint64_t> descriptor_cache_misses_{0};
+  std::atomic<std::uint64_t> bytes_from_cache_{0};
 };
 
 }  // namespace waldo::service

@@ -24,6 +24,11 @@ struct SpectrumService::Shard {
   std::uint64_t generation = 0;
   std::shared_ptr<const core::WhiteSpaceModel> model;
   std::uint64_t model_generation = 0;
+  /// Serialized form of `model`, filled lazily by the first download of
+  /// each snapshot and reset whenever a new model is published — the
+  /// invalidation rule that makes a repeat download a memcpy. Non-null
+  /// implies it is the serialization of the current `model`.
+  std::shared_ptr<const std::string> descriptor;
 
   /// Serialises rebuilds of this channel so a thundering herd of stale
   /// readers builds once. Never held while holding state_mutex upward.
@@ -119,6 +124,7 @@ std::shared_ptr<const core::WhiteSpaceModel> SpectrumService::model(
   const std::unique_lock lock(s.state_mutex);
   s.model = built;
   s.model_generation = built_from;
+  s.descriptor.reset();  // cached bytes described the previous snapshot
   if (built_from == s.generation) s.accepted_since_build = 0;
   // If the dataset moved on mid-build the published model is already
   // stale (model_generation < generation) and the next reader rebuilds;
@@ -127,11 +133,36 @@ std::shared_ptr<const core::WhiteSpaceModel> SpectrumService::model(
 }
 
 std::string SpectrumService::download_model(int channel) {
+  Shard& s = shard(channel);
+  {
+    // Fast path: a fresh model whose descriptor is already serialized —
+    // the download is a string copy under the shared lock.
+    const std::shared_lock lock(s.state_mutex);
+    if (s.descriptor && s.model && s.model_generation == s.generation) {
+      descriptor_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      bytes_from_cache_.fetch_add(s.descriptor->size(),
+                                  std::memory_order_relaxed);
+      model_downloads_.fetch_add(1, std::memory_order_relaxed);
+      bytes_served_.fetch_add(s.descriptor->size(),
+                              std::memory_order_relaxed);
+      return *s.descriptor;
+    }
+  }
+
+  // Miss: fetch the current snapshot (rebuilding if stale), serialize it
+  // outside every lock, and publish the bytes only if that exact snapshot
+  // is still the one installed — binary serialization is deterministic,
+  // so racing misses publish identical bytes either way.
+  descriptor_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   const std::shared_ptr<const core::WhiteSpaceModel> m = model(channel);
-  std::string descriptor = m->serialize();
+  auto fresh = std::make_shared<const std::string>(m->serialize());
+  {
+    const std::unique_lock lock(s.state_mutex);
+    if (s.model == m) s.descriptor = fresh;
+  }
   model_downloads_.fetch_add(1, std::memory_order_relaxed);
-  bytes_served_.fetch_add(descriptor.size(), std::memory_order_relaxed);
-  return descriptor;
+  bytes_served_.fetch_add(fresh->size(), std::memory_order_relaxed);
+  return *fresh;
 }
 
 core::UploadResult SpectrumService::upload_measurements(
@@ -213,6 +244,11 @@ ServiceCounters SpectrumService::counters() const {
   out.uploads_accepted = uploads_accepted_.load(std::memory_order_relaxed);
   out.uploads_rejected = uploads_rejected_.load(std::memory_order_relaxed);
   out.uploads_pending = uploads_pending_.load(std::memory_order_relaxed);
+  out.descriptor_cache_hits =
+      descriptor_cache_hits_.load(std::memory_order_relaxed);
+  out.descriptor_cache_misses =
+      descriptor_cache_misses_.load(std::memory_order_relaxed);
+  out.bytes_from_cache = bytes_from_cache_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -1,0 +1,301 @@
+// waldo::codec unit tests: primitive round trips (including the IEEE-754
+// bit patterns decimal text formatting would lose), varint edge values,
+// and the hardening contract — truncated, bit-flipped, version-skewed, or
+// adversarially length-prefixed descriptors throw codec::Error instead of
+// over-reading or allocating unboundedly.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "waldo/codec/codec.hpp"
+
+namespace {
+
+using waldo::codec::Error;
+using waldo::codec::Reader;
+using waldo::codec::Writer;
+
+// ---------------------------------------------------------------------------
+// Container basics
+
+TEST(Codec, EmptyPayloadRoundTrips) {
+  Writer w;
+  const std::string bytes = std::move(w).finish();
+  // Magic (4) + version varint (1) + CRC (4).
+  EXPECT_EQ(bytes.size(), 9u);
+  EXPECT_TRUE(waldo::codec::is_binary(bytes));
+  Reader r(bytes);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, IsBinarySniffsMagic) {
+  EXPECT_FALSE(waldo::codec::is_binary(""));
+  EXPECT_FALSE(waldo::codec::is_binary("WS"));
+  EXPECT_FALSE(waldo::codec::is_binary("waldo_model v1\n"));
+  EXPECT_TRUE(waldo::codec::is_binary("WSDB"));  // sniff only looks at magic
+}
+
+TEST(Codec, RejectsBadMagicAndShortInput) {
+  EXPECT_THROW(Reader r(""), Error);
+  EXPECT_THROW(Reader r("WSD"), Error);
+  EXPECT_THROW(Reader r("XXXX\x01\x00\x00\x00\x00"), Error);
+  // Magic alone, no version or trailer.
+  EXPECT_THROW(Reader r("WSDB"), Error);
+}
+
+TEST(Codec, RejectsNewerFormatVersion) {
+  // Hand-build a well-formed container claiming format version 2: the CRC
+  // is valid, so the failure is attributable to the version check alone.
+  std::string body = "WSDB";
+  body += '\x02';
+  const std::uint32_t crc = waldo::codec::crc32(body);
+  std::string bytes = body;
+  for (int i = 0; i < 4; ++i) {
+    bytes += static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  try {
+    Reader r(bytes);
+    FAIL() << "version 2 container was accepted";
+  } catch (const Error& e) {
+    // The message should name both versions so operators can tell a format
+    // skew from corruption.
+    EXPECT_NE(std::string(e.what()).find('2'), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find('1'), std::string::npos);
+  }
+}
+
+TEST(Codec, DetectsEveryPossibleSingleBitFlip) {
+  Writer w;
+  w.u64(12345);
+  w.str("white space");
+  w.f64(-101.25);
+  const std::string good = std::move(w).finish();
+  ASSERT_NO_THROW(Reader r(good));
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      EXPECT_THROW(Reader r(bad), Error)
+          << "flip of bit " << bit << " in byte " << byte << " not detected";
+    }
+  }
+}
+
+TEST(Codec, DetectsTruncationAtEveryLength) {
+  Writer w;
+  w.i64(-42);
+  w.f64_array({1.0, 2.0, 3.0});
+  const std::string good = std::move(w).finish();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(Reader r(good.substr(0, len)), Error)
+        << "truncation to " << len << " bytes not detected";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive round trips
+
+TEST(Codec, VarintEdgeValuesRoundTrip) {
+  const std::uint64_t values[] = {
+      0,      1,
+      127,    128,  // 1-byte/2-byte varint boundary
+      16383,  16384,
+      0x7fffffffull,
+      0xffffffffull,
+      std::numeric_limits<std::uint64_t>::max() - 1,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  Writer w;
+  for (std::uint64_t v : values) w.u64(v);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  for (std::uint64_t v : values) EXPECT_EQ(r.u64(), v);
+  r.expect_done();
+}
+
+TEST(Codec, ZigzagEdgeValuesRoundTrip) {
+  const std::int64_t values[] = {
+      0,  -1, 1,  -2, 2,
+      63, 64, -64, -65,  // zigzag 1-byte/2-byte boundary
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+  };
+  Writer w;
+  for (std::int64_t v : values) w.i64(v);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  for (std::int64_t v : values) EXPECT_EQ(r.i64(), v);
+  r.expect_done();
+}
+
+TEST(Codec, SmallValuesEncodeInOneByte) {
+  // The varint is why binary descriptors beat text: small ints are 1 byte.
+  Writer w;
+  const std::size_t before = w.size_bytes();
+  w.u64(127);
+  EXPECT_EQ(w.size_bytes() - before, 1u);
+  w.i64(-64);
+  EXPECT_EQ(w.size_bytes() - before, 2u);
+  (void)std::move(w).finish();
+}
+
+TEST(Codec, DoublesRoundTripBitExactly) {
+  // Values decimal text formatting distorts or cannot express: signed
+  // zeros, infinities, NaN payloads, subnormals, and max-precision values.
+  const double values[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      -101.3000000000000007,  // typical dBm with a sticky last ulp
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::min(),
+  };
+  Writer w;
+  for (double v : values) w.f64(v);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  for (double v : values) {
+    const double got = r.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+              std::bit_cast<std::uint64_t>(v));
+  }
+  r.expect_done();
+}
+
+TEST(Codec, StringsRoundTripIncludingEmbeddedNulAndNewline) {
+  const std::string values[] = {
+      "", "svm", std::string("nul\0byte", 8), "line\nbreak",
+      std::string(1000, 'x')};
+  Writer w;
+  for (const std::string& v : values) w.str(v);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  for (const std::string& v : values) EXPECT_EQ(r.str(), v);
+  r.expect_done();
+}
+
+TEST(Codec, F64ArrayRoundTrips) {
+  Writer w;
+  w.f64_array({});
+  w.f64_array({-75.5, -95.25, 0.0});
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  EXPECT_TRUE(r.f64_array().empty());
+  EXPECT_EQ(r.f64_array(), (std::vector<double>{-75.5, -95.25, 0.0}));
+  r.expect_done();
+}
+
+TEST(Codec, MixedSequenceIsDeterministic) {
+  auto build = [] {
+    Writer w;
+    w.u8(3);
+    w.i64(-46);
+    w.f64(-114.0);
+    w.str("locality");
+    w.f64_array({1.5, 2.5});
+    return std::move(w).finish();
+  };
+  EXPECT_EQ(build(), build());  // byte-identical across runs
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial input (valid CRC, hostile payload)
+
+// Re-wraps `payload` in a container with a *correct* CRC, so the reader's
+// per-read bounds checks — not the checksum — must catch the problem.
+std::string wrap_valid(const std::string& payload) {
+  std::string body = "WSDB";
+  body += '\x01';
+  body += payload;
+  const std::uint32_t crc = waldo::codec::crc32(body);
+  std::string bytes = body;
+  for (int i = 0; i < 4; ++i) {
+    bytes += static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+TEST(Codec, RejectsStringLengthBeyondPayload) {
+  // str claiming 1 GiB of content with 0 bytes behind it: must throw, not
+  // allocate or over-read. 0x80 0x80 0x80 0x80 0x04 = varint 2^30.
+  const std::string bytes =
+      wrap_valid(std::string("\x80\x80\x80\x80\x04", 5));
+  Reader r(bytes);
+  EXPECT_THROW((void)r.str(), Error);
+}
+
+TEST(Codec, RejectsArrayCountBeyondPayload) {
+  const std::string bytes =
+      wrap_valid(std::string("\x80\x80\x80\x80\x04", 5));
+  Reader r(bytes);
+  EXPECT_THROW((void)r.f64_array(), Error);
+}
+
+TEST(Codec, CountRejectsOverlongClaims) {
+  // count(8) with 3 elements actually present but a claim of 100.
+  Writer w;
+  w.u64(100);
+  w.f64(1.0);
+  w.f64(2.0);
+  w.f64(3.0);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  EXPECT_THROW((void)r.count(8), Error);
+}
+
+TEST(Codec, RejectsOverlongVarint) {
+  // Eleven continuation bytes: more than any u64 varint can span.
+  const std::string bytes = wrap_valid(std::string(11, '\x80'));
+  Reader r(bytes);
+  EXPECT_THROW((void)r.u64(), Error);
+}
+
+TEST(Codec, RejectsVarintOverflow) {
+  // Ten bytes whose tenth carries more than the single remaining bit.
+  std::string payload(9, '\x80');
+  payload += '\x7f';
+  const std::string bytes = wrap_valid(payload);
+  Reader r(bytes);
+  EXPECT_THROW((void)r.u64(), Error);
+}
+
+TEST(Codec, ExpectDoneRejectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), Error);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, ReadPastEndThrows) {
+  Writer w;
+  w.u8(7);
+  const std::string bytes = std::move(w).finish();
+  Reader r(bytes);
+  (void)r.u8();
+  EXPECT_THROW((void)r.u8(), Error);
+  EXPECT_THROW((void)r.f64(), Error);
+  EXPECT_THROW((void)r.u64(), Error);
+}
+
+TEST(Codec, Crc32MatchesKnownVector) {
+  // The standard zlib/PNG check value for "123456789".
+  EXPECT_EQ(waldo::codec::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(waldo::codec::crc32(""), 0x00000000u);
+}
+
+}  // namespace

@@ -169,6 +169,49 @@ TEST_F(ServiceFixture, ConcurrentDownloadsShareOneRebuild) {
   EXPECT_EQ(service.counters().model_downloads, kThreads);
   EXPECT_EQ(service.counters().bytes_served,
             kThreads * descriptors[0].size());
+  // Descriptor-cache accounting: every download is either a hit or a miss.
+  // How many threads race the first serialization is timing-dependent, but
+  // at least one must miss, and each hit's bytes came from the cache.
+  const ServiceCounters after = service.counters();
+  EXPECT_EQ(after.descriptor_cache_hits + after.descriptor_cache_misses,
+            kThreads);
+  EXPECT_GE(after.descriptor_cache_misses, 1u);
+  EXPECT_EQ(after.bytes_from_cache,
+            after.descriptor_cache_hits * descriptors[0].size());
+}
+
+TEST_F(ServiceFixture, DescriptorCacheHitsUntilModelChanges) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+
+  // First download serializes (miss); repeats are served from the cached
+  // bytes without re-serializing, and are byte-identical.
+  const std::string first = service.download_model(kChannelA);
+  const std::string second = service.download_model(kChannelA);
+  const std::string third = service.download_model(kChannelA);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, third);
+  ServiceCounters c = service.counters();
+  EXPECT_EQ(c.descriptor_cache_misses, 1u);
+  EXPECT_EQ(c.descriptor_cache_hits, 2u);
+  EXPECT_EQ(c.bytes_from_cache, 2u * first.size());
+
+  // New data invalidates the snapshot: the next download must re-serialize
+  // the rebuilt model, never serve the stale cached bytes.
+  service.ingest_campaign(*data_a_);
+  (void)service.download_model(kChannelA);
+  c = service.counters();
+  EXPECT_EQ(c.descriptor_cache_misses, 2u);
+  EXPECT_EQ(c.descriptor_cache_hits, 2u);
+
+  // The other channel's cache is untouched by channel A's traffic.
+  (void)service.download_model(kChannelB);
+  (void)service.download_model(kChannelB);
+  c = service.counters();
+  EXPECT_EQ(c.descriptor_cache_misses, 3u);
+  EXPECT_EQ(c.descriptor_cache_hits, 3u);
+  EXPECT_EQ(c.descriptor_cache_hits + c.descriptor_cache_misses,
+            c.model_downloads);
 }
 
 TEST_F(ServiceFixture, PurgePendingDropsOnlyThatContributor) {
@@ -218,6 +261,8 @@ TEST_F(ServiceFixture, FrontendIsolatesMalformedAndThrowingRequests) {
   EXPECT_EQ(stats.requests_served, 4u);
   EXPECT_EQ(stats.error_responses, 3u);
   EXPECT_EQ(stats.model_downloads, 1u);
+  EXPECT_EQ(stats.descriptor_cache_hits + stats.descriptor_cache_misses,
+            stats.model_downloads);
   EXPECT_GT(stats.bytes_served, 0u);
   EXPECT_LE(stats.p50_handle_us, stats.p99_handle_us);
 }

@@ -16,8 +16,11 @@
 //       [--correction 0]
 //       Apply Algorithm 1 to a sweep and print the occupancy summary.
 //   waldo train --in sweep.csv --model out.wsm [--classifier svm]
-//       [--features 3] [--localities 3] [--max-train 800]
-//       Build a White Space Detection Model from a sweep.
+//       [--features 3] [--localities 3] [--max-train 800] [--text 1]
+//       Build a White Space Detection Model from a sweep. Models are
+//       written in the binary v1 descriptor format (--text 1 writes the
+//       legacy v0 text form); every model-reading command sniffs the
+//       format, so both load transparently.
 //   waldo predict --model m.wsm --east E --north N [--rss R] [--cft C]
 //       [--aft A]
 //       Classify one location (meters in the campaign's ENU frame).
@@ -25,6 +28,13 @@
 //       ASCII map of the model's decisions over the sweep's bounding box.
 //   waldo info --model m.wsm
 //       Print a model descriptor's vital statistics.
+//   waldo model-size [--in sweep.csv] [--readings 700] [--seed 17]
+//       [--features 3] [--localities 3] [--max-train 800] [--json 1]
+//       Train every classifier family on one dataset and report the
+//       descriptor size in both wire forms (legacy v0 text vs binary v1)
+//       — the paper's Section 5 ~4 kB Naive Bayes vs ~40 kB SVM
+//       comparison, plus the binary/text ratio. --json 1 emits the table
+//       as JSON on stdout.
 //   waldo serve-bench [--readings 900] [--channels 15,46] [--requests 4000]
 //       [--workers 0] [--upload-pct 15] [--rebuild-threshold 25] [--seed 33]
 //       Stand up the concurrent serving layer (waldo::service) over a
@@ -221,23 +231,30 @@ int cmd_train(const Args& args) {
       core::ModelConstructor(cfg).build_with_labeling(ds,
                                                       labeling_from(args));
   const std::string path = args.get("model");
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  model.save(out);
+  const bool as_text = args.num("text", 0) != 0;
+  const std::string bytes =
+      as_text ? model.serialize_text() : model.serialize();
+  std::ofstream out(path, std::ios::binary);
+  if (!out.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()))) {
+    throw std::runtime_error("cannot write " + path);
+  }
   std::printf("trained %s model for channel %d: %zu localities (%zu "
-              "constant), %zu bytes -> %s\n",
+              "constant), %zu bytes (%s) -> %s\n",
               model.classifier_kind().c_str(), model.channel(),
               model.num_localities(), model.num_constant_localities(),
-              model.descriptor_size_bytes(), path.c_str());
+              bytes.size(), as_text ? "text v0" : "binary v1", path.c_str());
   return 0;
 }
 
 core::WhiteSpaceModel load_model(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot read " + path);
-  core::WhiteSpaceModel model;
-  model.load(in);
-  return model;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // deserialize() sniffs the magic: binary v1 and legacy text v0 files
+  // both load.
+  return core::WhiteSpaceModel::deserialize(buffer.str());
 }
 
 int cmd_predict(const Args& args) {
@@ -305,6 +322,75 @@ int cmd_info(const Args& args) {
                 *constant == ml::kSafe ? "SAFE" : "NOT SAFE");
   }
   std::printf("descriptor:     %zu bytes\n", model.descriptor_size_bytes());
+  return 0;
+}
+
+int cmd_model_size(const Args& args) {
+  // One dataset, every classifier family: the paper's Section 5 model-size
+  // comparison, in both wire forms. Defaults to a deterministic synthetic
+  // split field so the command works without a campaign on disk.
+  campaign::ChannelDataset ds;
+  if (const std::string in = args.get_or("in", ""); !in.empty()) {
+    ds = campaign::read_csv_file(in);
+  } else {
+    const auto n = static_cast<std::size_t>(args.num("readings", 700));
+    std::mt19937_64 rng(static_cast<std::uint64_t>(args.num("seed", 17)));
+    std::uniform_real_distribution<double> coord(0.0, 10'000.0);
+    std::normal_distribution<double> jitter(0.0, 1.0);
+    ds.channel = 30;
+    ds.sensor_name = "synthetic";
+    // Diagonal boundary: it cuts across the k-means localities, so each
+    // locality trains a real classifier instead of collapsing constant.
+    for (std::size_t i = 0; i < n; ++i) {
+      campaign::Measurement m;
+      m.position = geo::EnuPoint{coord(rng), coord(rng)};
+      const bool occupied =
+          m.position.east_m + m.position.north_m < 10'000.0;
+      m.rss_dbm = (occupied ? -75.0 : -95.0) + jitter(rng);
+      m.cft_db = (occupied ? -85.0 : -105.0) + jitter(rng);
+      m.aft_db = (occupied ? -95.0 : -108.0) + jitter(rng);
+      ds.readings.push_back(m);
+    }
+  }
+
+  core::ModelConstructorConfig cfg;
+  cfg.num_features = static_cast<int>(args.num("features", 3));
+  cfg.num_localities = static_cast<std::size_t>(args.num("localities", 3));
+  cfg.max_train_samples =
+      static_cast<std::size_t>(args.num("max-train", 800));
+  cfg.threads = threads_from(args);
+
+  const bool as_json = args.num("json", 0) != 0;
+  static constexpr const char* kFamilies[] = {
+      "svm", "naive_bayes", "decision_tree", "knn", "logistic_regression"};
+  if (as_json) {
+    std::printf("{\n  \"suite\": \"model_size\",\n  \"records\": [\n");
+  } else {
+    std::printf("%-22s %12s %12s %8s\n", "family", "text B", "binary B",
+                "ratio");
+  }
+  bool first = true;
+  for (const char* family : kFamilies) {
+    cfg.classifier = family;
+    const core::WhiteSpaceModel model =
+        core::ModelConstructor(cfg).build_with_labeling(ds,
+                                                        labeling_from(args));
+    const std::size_t text_bytes = model.serialize_text().size();
+    const std::size_t binary_bytes = model.serialize().size();
+    const double ratio = static_cast<double>(binary_bytes) /
+                         static_cast<double>(text_bytes);
+    if (as_json) {
+      std::printf("%s    {\"family\": \"%s\", \"text_bytes\": %zu, "
+                  "\"binary_bytes\": %zu, \"ratio\": %.3f}",
+                  first ? "" : ",\n", family, text_bytes, binary_bytes,
+                  ratio);
+      first = false;
+    } else {
+      std::printf("%-22s %12zu %12zu %7.0f%%\n", family, text_bytes,
+                  binary_bytes, 100.0 * ratio);
+    }
+  }
+  if (as_json) std::printf("\n  ]\n}\n");
   return 0;
 }
 
@@ -401,6 +487,12 @@ int cmd_serve_bench(const Args& args) {
               static_cast<unsigned long long>(stats.uploads_pending));
   std::printf("model rebuilds:   %llu\n",
               static_cast<unsigned long long>(stats.rebuilds));
+  std::printf("descriptor cache: %llu hits, %llu misses (%.1f MiB from "
+              "cache)\n",
+              static_cast<unsigned long long>(stats.descriptor_cache_hits),
+              static_cast<unsigned long long>(stats.descriptor_cache_misses),
+              static_cast<double>(stats.bytes_from_cache) /
+                  (1024.0 * 1024.0));
   std::printf("handle latency:   p50 %.1f us, p99 %.1f us, max %llu us\n",
               stats.p50_handle_us, stats.p99_handle_us,
               static_cast<unsigned long long>(stats.max_handle_us));
@@ -410,8 +502,8 @@ int cmd_serve_bench(const Args& args) {
 void usage() {
   std::printf(
       "waldo — local and low-cost white space detection\n"
-      "usage: waldo <simulate|label|train|predict|map|info|serve-bench>"
-      " [--flags]\n"
+      "usage: waldo <simulate|label|train|predict|map|info|model-size|"
+      "serve-bench> [--flags]\n"
       "see the header of tools/waldo_cli.cpp for per-command flags\n");
 }
 
@@ -438,6 +530,8 @@ int main(int argc, char** argv) {
       rc = cmd_map(args);
     } else if (command == "info") {
       rc = cmd_info(args);
+    } else if (command == "model-size") {
+      rc = cmd_model_size(args);
     } else if (command == "serve-bench") {
       rc = cmd_serve_bench(args);
     } else {
