@@ -1,0 +1,235 @@
+// Cluster-tier throughput and failover latency: the multi-node spectrum
+// database (waldo::cluster) under routed WSNP traffic. Measures a mixed
+// download/upload workload against 1, 2 and 4 in-process nodes (R =
+// min(2, N)), then a kill/recover scenario on a lossy transport and
+// reports the router's failover-latency percentiles — the price of a
+// request that had to retry or fail over. Committed BENCH_cluster.json
+// was produced on the 1-core reference container: node "parallelism" is
+// time-sliced there, so read the scaling column as overhead accounting,
+// not speedup.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "waldo/cluster/cluster.hpp"
+#include "waldo/cluster/router.hpp"
+#include "waldo/runtime/seed.hpp"
+#include "waldo/runtime/thread_pool.hpp"
+
+using namespace waldo;
+
+namespace {
+
+constexpr int kChannels[] = {15, 46};
+constexpr int kClientThreads = 3;
+constexpr int kOpsPerThread = 120;
+constexpr double kTileSize = 200'000.0;
+constexpr double kAreaOffset = 400'000.0;
+
+core::ModelConstructorConfig fast_config() {
+  core::ModelConstructorConfig mc;
+  mc.classifier = "naive_bayes";
+  mc.num_features = 2;
+  mc.num_localities = 3;
+  return mc;
+}
+
+core::UploadPolicy serving_policy() {
+  core::UploadPolicy policy;
+  policy.rebuild_threshold = 25;
+  return policy;
+}
+
+campaign::ChannelDataset translate(const campaign::ChannelDataset& ds,
+                                   double east) {
+  campaign::ChannelDataset out = ds;
+  for (campaign::Measurement& m : out.readings) m.position.east_m += east;
+  return out;
+}
+
+struct Area {
+  cluster::TileKey tile;
+  std::vector<const campaign::ChannelDataset*> sweeps;  // one per channel
+};
+
+/// Bootstraps two metro areas (tiles), two channels each.
+std::vector<Area> bootstrap(bench::Campaign& campaign,
+                            cluster::Cluster& clu,
+                            std::vector<campaign::ChannelDataset>& storage) {
+  storage.clear();
+  storage.reserve(4);
+  for (const int channel : kChannels) {
+    storage.push_back(campaign.dataset(bench::SensorKind::kUsrpB200, channel));
+  }
+  for (const int channel : kChannels) {
+    storage.push_back(translate(
+        campaign.dataset(bench::SensorKind::kUsrpB200, channel), kAreaOffset));
+  }
+  std::vector<Area> areas(2);
+  areas[0].tile = clu.ingest_campaign(storage[0]);
+  clu.ingest_campaign(storage[1]);
+  areas[0].sweeps = {&storage[0], &storage[1]};
+  areas[1].tile = clu.ingest_campaign(storage[2]);
+  clu.ingest_campaign(storage[3]);
+  areas[1].sweeps = {&storage[2], &storage[3]};
+  return areas;
+}
+
+/// Mixed 85/15 download/upload client traffic; returns wall ns/request.
+double drive(cluster::Cluster& clu, cluster::ClusterRouter& router,
+             const std::vector<Area>& areas, std::uint64_t seed) {
+  const cluster::Tiling tiling = clu.topology().tiling;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937_64 rng(runtime::split_seed(seed, t));
+      std::uniform_real_distribution<double> jitter(-40.0, 40.0);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Area& area = areas[rng() % areas.size()];
+        const std::size_t slot = rng() % 2;
+        const int channel = kChannels[slot];
+        const geo::EnuPoint where = tiling.center(area.tile);
+        if (rng() % 100 < 85) {
+          (void)router.download_descriptor(channel, where);
+        } else {
+          const campaign::ChannelDataset& sweep = *area.sweeps[slot];
+          std::uniform_int_distribution<std::size_t> pick(0,
+                                                          sweep.size() - 1);
+          std::vector<campaign::Measurement> batch;
+          for (int r = 0; r < 3; ++r) {
+            campaign::Measurement m = sweep.readings[pick(rng)];
+            m.position.east_m += jitter(rng);
+            m.position.north_m += jitter(rng);
+            m.iq.clear();
+            batch.push_back(std::move(m));
+          }
+          (void)router.upload(channel, where, "bench" + std::to_string(t),
+                              batch);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(kClientThreads * kOpsPerThread);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const unsigned hw = runtime::hardware_threads();
+  std::printf("Cluster-tier throughput — %u hardware thread(s)\n", hw);
+  bench::Campaign campaign(900);
+  bench::JsonReport report;
+  report.add_value("hardware_threads", hw, "threads");
+
+  // -- scaling: same workload against 1, 2 and 4 nodes ---------------------
+  bench::print_row({"nodes", "repl", "ns/req", "req/s", "retries"}, 14);
+  for (const cluster::NodeId nodes : {1u, 2u, 4u}) {
+    const std::size_t replication = nodes < 2 ? 1 : 2;
+    cluster::ClusterConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.replication = replication;
+    cfg.tile_size_m = kTileSize;
+    cfg.constructor_config = fast_config();
+    cfg.upload_policy = serving_policy();
+    cluster::Cluster clu(std::move(cfg));
+    std::vector<campaign::ChannelDataset> storage;
+    const std::vector<Area> areas = bootstrap(campaign, clu, storage);
+    cluster::ClusterRouter router(clu.topology(), clu.transport(),
+                                  clu.membership());
+    const double ns = drive(clu, router, areas, 21);
+    const cluster::RouterStats stats = router.stats();
+    bench::print_row({std::to_string(nodes), std::to_string(replication),
+                      bench::fmt(ns, 0), bench::fmt(1e9 / ns, 0),
+                      std::to_string(stats.retries)},
+                     14);
+    const std::string tag = "nodes" + std::to_string(nodes);
+    report.add_rate(tag + "_mixed", ns);
+    report.add_value(tag + "_retries", static_cast<double>(stats.retries),
+                     "count");
+  }
+
+  // -- failover: kill and recover a primary on a lossy fabric --------------
+  {
+    cluster::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.replication = 2;
+    cfg.tile_size_m = kTileSize;
+    cfg.constructor_config = fast_config();
+    cfg.upload_policy = serving_policy();
+    cfg.faults = cluster::FaultPlan{.drop_request = 0.05,
+                                    .drop_response = 0.03,
+                                    .duplicate_request = 0.02,
+                                    .delay = 0.2,
+                                    .max_delay_us = 100,
+                                    .seed = 13};
+    cluster::Cluster clu(std::move(cfg));
+    std::vector<campaign::ChannelDataset> storage;
+    const std::vector<Area> areas = bootstrap(campaign, clu, storage);
+
+    cluster::RouterConfig router_config;
+    router_config.deadline = std::chrono::milliseconds(60'000);
+    router_config.backoff.base = std::chrono::nanoseconds{100'000};
+    router_config.backoff.cap = std::chrono::nanoseconds{2'000'000};
+    cluster::ClusterRouter router(clu.topology(), clu.transport(),
+                                  clu.membership(), router_config);
+
+    const cluster::NodeId victim = clu.replicas_of(areas[0].tile)[0];
+    std::thread chaos([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      clu.kill(victim);
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      clu.recover(victim);
+    });
+    const double ns = drive(clu, router, areas, 23);
+    chaos.join();
+
+    const cluster::RouterStats stats = router.stats();
+    std::printf("\nfailover under faults (N=4 R=2, kill+recover node %u)\n",
+                victim);
+    bench::print_row({"metric", "value"}, 26);
+    bench::print_row({"ns/req", bench::fmt(ns, 0)}, 26);
+    bench::print_row({"requests", std::to_string(stats.requests)}, 26);
+    bench::print_row({"retries", std::to_string(stats.retries)}, 26);
+    bench::print_row({"failovers", std::to_string(stats.failovers)}, 26);
+    bench::print_row({"failures", std::to_string(stats.failures)}, 26);
+    bench::print_row(
+        {"failover p50 (us)", bench::fmt(stats.failover_latency.p50_ns / 1e3, 1)},
+        26);
+    bench::print_row(
+        {"failover p99 (us)", bench::fmt(stats.failover_latency.p99_ns / 1e3, 1)},
+        26);
+    report.add_rate("failover_mixed", ns);
+    report.add_value("failover_requests", static_cast<double>(stats.requests),
+                     "count");
+    report.add_value("failover_retries", static_cast<double>(stats.retries),
+                     "count");
+    report.add_value("failover_failovers",
+                     static_cast<double>(stats.failovers), "count");
+    report.add_value("failover_failures", static_cast<double>(stats.failures),
+                     "count");
+    report.add_value("failover_p50_us", stats.failover_latency.p50_ns / 1e3,
+                     "us");
+    report.add_value("failover_p99_us", stats.failover_latency.p99_ns / 1e3,
+                     "us");
+    if (stats.failures != 0) {
+      std::printf("ERROR: %llu requests failed permanently\n",
+                  static_cast<unsigned long long>(stats.failures));
+      return 1;
+    }
+  }
+
+  if (!json_path.empty() && !report.write(json_path, "cluster")) return 1;
+  std::printf("\npeak rss: %.1f MiB\n",
+              static_cast<double>(bench::peak_rss_bytes()) / (1024 * 1024));
+  return 0;
+}

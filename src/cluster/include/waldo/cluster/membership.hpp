@@ -1,0 +1,51 @@
+// Shared cluster membership: which nodes are alive, and in what state.
+//
+// A node is kReady (serving), kSyncing (revived, pulling state — accepts
+// replication traffic but not client traffic) or kDead. The view is a
+// mutex-guarded immutable snapshot swapped atomically on every change, so
+// routers and nodes read a consistent epoch-stamped picture with one
+// shared_ptr copy and never block each other. In this in-process tier the
+// harness (cluster::Cluster) is the single writer — the seam where a real
+// deployment would plug in its failure detector / control plane.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "waldo/cluster/tiling.hpp"
+
+namespace waldo::cluster {
+
+enum class NodeHealth : std::uint8_t { kDead = 0, kSyncing = 1, kReady = 2 };
+
+struct Membership {
+  std::uint64_t epoch = 0;
+  std::vector<NodeHealth> health;  ///< indexed by NodeId
+
+  [[nodiscard]] bool ready(NodeId node) const noexcept {
+    return node < health.size() && health[node] == NodeHealth::kReady;
+  }
+  [[nodiscard]] bool alive(NodeId node) const noexcept {
+    return node < health.size() && health[node] != NodeHealth::kDead;
+  }
+};
+
+class MembershipView {
+ public:
+  /// All nodes start kReady.
+  explicit MembershipView(NodeId num_nodes);
+
+  /// Immutable point-in-time snapshot; never null.
+  [[nodiscard]] std::shared_ptr<const Membership> snapshot() const;
+
+  /// Publishes a new snapshot with `node` in `health`; bumps the epoch.
+  void set_health(NodeId node, NodeHealth health);
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Membership> current_;
+};
+
+}  // namespace waldo::cluster

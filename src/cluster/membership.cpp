@@ -1,0 +1,29 @@
+#include "waldo/cluster/membership.hpp"
+
+#include <stdexcept>
+
+namespace waldo::cluster {
+
+MembershipView::MembershipView(NodeId num_nodes) {
+  auto initial = std::make_shared<Membership>();
+  initial->health.assign(num_nodes, NodeHealth::kReady);
+  current_ = std::move(initial);
+}
+
+std::shared_ptr<const Membership> MembershipView::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  return current_;
+}
+
+void MembershipView::set_health(NodeId node, NodeHealth health) {
+  const std::lock_guard lock(mutex_);
+  if (node >= current_->health.size()) {
+    throw std::out_of_range("membership: unknown node id");
+  }
+  auto next = std::make_shared<Membership>(*current_);
+  next->epoch += 1;
+  next->health[node] = health;
+  current_ = std::move(next);
+}
+
+}  // namespace waldo::cluster

@@ -36,6 +36,13 @@ struct UploadRequest {
   int channel = 0;
   /// Single-token identity (no whitespace) — enforced at encode time.
   std::string contributor;
+  /// Client-chosen request identity. A tier that retries uploads (the
+  /// cluster router) sets this to a unique value per logical request so
+  /// the server can deduplicate redelivered frames; 0 means "no dedup".
+  std::uint64_t request_id = 0;
+  /// Uploader location — routing metadata. A sharded deployment picks the
+  /// owning tile/replicas from it without parsing the readings.
+  geo::EnuPoint location;
   std::vector<campaign::Measurement> readings;  ///< I/Q not transmitted
 };
 
@@ -50,8 +57,34 @@ struct UploadResponse {
   std::uint64_t ticket = 0;
 };
 
+/// Machine-readable failure classes. The split that matters operationally
+/// is retryable vs. permanent: a router that sees kNotOwner should fail
+/// over to another replica, while resending a kMalformed frame anywhere
+/// would fail identically.
+enum class ErrorCode : int {
+  kUnspecified = 0,     ///< legacy / unclassified (pre-PR-5 peers)
+  kMalformed = 1,       ///< frame failed to decode — permanent
+  kUnknownChannel = 2,  ///< no data for the channel — permanent
+  kBadRequest = 3,      ///< wrong message kind for this endpoint — permanent
+  kInternal = 4,        ///< server-side exception — permanent
+  kNotOwner = 5,        ///< replica does not own the key — retry elsewhere
+  kNotReady = 6,        ///< replica is (re)syncing — retry elsewhere
+  kUnavailable = 7,     ///< transient (shutting down, overload) — retry
+};
+
+/// True for the codes a client should retry (possibly against a different
+/// replica); false for codes where the request itself is at fault.
+[[nodiscard]] constexpr bool is_retryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kNotOwner || code == ErrorCode::kNotReady ||
+         code == ErrorCode::kUnavailable;
+}
+
 struct ErrorResponse {
   std::string reason;
+  ErrorCode code = ErrorCode::kUnspecified;
+  /// The channel the failing request addressed; 0 when the failure is not
+  /// channel-specific (e.g. an undecodable frame).
+  int channel = 0;
 };
 
 using Message = std::variant<ModelRequest, ModelResponse, UploadRequest,
@@ -94,9 +127,13 @@ class ProtocolClient {
   [[nodiscard]] WhiteSpaceModel fetch_model(int channel,
                                             const geo::EnuPoint& location);
 
-  /// Uploads measurements; returns the server's ledger.
+  /// Uploads measurements; returns the server's ledger. `location` and
+  /// `request_id` ride along as routing/dedup metadata (see
+  /// UploadRequest); single-node callers may leave them defaulted.
   UploadResponse upload(int channel, const std::string& contributor,
-                        std::span<const campaign::Measurement> readings);
+                        std::span<const campaign::Measurement> readings,
+                        const geo::EnuPoint& location = {},
+                        std::uint64_t request_id = 0);
 
  private:
   Transport transport_;

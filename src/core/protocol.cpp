@@ -74,7 +74,8 @@ void require_drained(std::istream& is, const char* what) {
             "contributor must be a single non-empty token");
       }
       os << r.channel << " " << r.contributor << " " << r.readings.size()
-         << "\n";
+         << " " << r.request_id << " " << r.location.east_m << " "
+         << r.location.north_m << "\n";
       for (const campaign::Measurement& m : r.readings) {
         os << m.position.east_m << " " << m.position.north_m << " " << m.raw
            << " " << m.rss_dbm << " " << m.cft_db << " " << m.aft_db << "\n";
@@ -84,7 +85,10 @@ void require_drained(std::istream& is, const char* what) {
       os << r.accepted << " " << r.rejected << " " << r.pending << " "
          << r.ticket << "\n";
     }
-    void operator()(const ErrorResponse& r) { os << r.reason << "\n"; }
+    void operator()(const ErrorResponse& r) {
+      os << static_cast<int>(r.code) << " " << r.channel << " " << r.reason
+         << "\n";
+    }
   };
   std::visit(Visitor{os}, m);
   return os.str();
@@ -128,7 +132,8 @@ void require_drained(std::istream& is, const char* what) {
   if (type == "upload_request") {
     UploadRequest r;
     std::size_t count = 0;
-    if (!(is >> r.channel >> r.contributor >> count)) {
+    if (!(is >> r.channel >> r.contributor >> count >> r.request_id >>
+          r.location.east_m >> r.location.north_m)) {
       throw std::runtime_error("malformed upload_request body");
     }
     // Each reading occupies at least a dozen body bytes; a count the body
@@ -156,8 +161,23 @@ void require_drained(std::istream& is, const char* what) {
     return r;
   }
   if (type == "error") {
+    // "<code> <channel> <reason...>". Legacy (pre-code) error bodies were
+    // the bare reason line; if the first token is not an integer, fall
+    // back to treating the whole line as the reason with kUnspecified.
     ErrorResponse r;
-    std::getline(is, r.reason);
+    std::string line;
+    std::getline(is, line);
+    std::istringstream fields(line);
+    fields.imbue(std::locale::classic());
+    int code = 0;
+    if (fields >> code >> r.channel) {
+      r.code = static_cast<ErrorCode>(code);
+      std::getline(fields >> std::ws, r.reason);
+    } else {
+      r.reason = line;
+      r.code = ErrorCode::kUnspecified;
+      r.channel = 0;
+    }
     return r;
   }
   throw std::runtime_error("unknown WSNP message type: " + type);
@@ -201,20 +221,29 @@ std::string ProtocolServer::handle(const std::string& request_wire) const {
   try {
     request = decode(request_wire);
   } catch (const std::exception& e) {
-    return encode(ErrorResponse{.reason = e.what()});
+    return encode(ErrorResponse{.reason = e.what(),
+                                .code = ErrorCode::kMalformed});
   }
 
-  try {
-    if (const auto* r = std::get_if<ModelRequest>(&request)) {
+  if (const auto* r = std::get_if<ModelRequest>(&request)) {
+    try {
       if (!store_->has_channel(r->channel)) {
         return encode(ErrorResponse{
-            .reason = "no data for channel " + std::to_string(r->channel)});
+            .reason = "no data for channel " + std::to_string(r->channel),
+            .code = ErrorCode::kUnknownChannel,
+            .channel = r->channel});
       }
       return encode(ModelResponse{
           .channel = r->channel,
           .descriptor = store_->download_model(r->channel)});
+    } catch (const std::exception& e) {
+      return encode(ErrorResponse{.reason = e.what(),
+                                  .code = ErrorCode::kInternal,
+                                  .channel = r->channel});
     }
-    if (const auto* r = std::get_if<UploadRequest>(&request)) {
+  }
+  if (const auto* r = std::get_if<UploadRequest>(&request)) {
+    try {
       const UploadResult result =
           store_->upload_measurements(r->channel, r->readings,
                                       r->contributor);
@@ -222,12 +251,21 @@ std::string ProtocolServer::handle(const std::string& request_wire) const {
                                    .rejected = result.rejected,
                                    .pending = result.pending,
                                    .ticket = result.ticket});
+    } catch (const std::out_of_range& e) {
+      // SpectrumDatabase/SpectrumService throw out_of_range for uploads
+      // addressing a channel that was never bootstrapped.
+      return encode(ErrorResponse{.reason = e.what(),
+                                  .code = ErrorCode::kUnknownChannel,
+                                  .channel = r->channel});
+    } catch (const std::exception& e) {
+      return encode(ErrorResponse{.reason = e.what(),
+                                  .code = ErrorCode::kInternal,
+                                  .channel = r->channel});
     }
-  } catch (const std::exception& e) {
-    return encode(ErrorResponse{.reason = e.what()});
   }
   return encode(
-      ErrorResponse{.reason = "server only accepts request messages"});
+      ErrorResponse{.reason = "server only accepts request messages",
+                    .code = ErrorCode::kBadRequest});
 }
 
 WhiteSpaceModel ProtocolClient::fetch_model(int channel,
@@ -246,10 +284,13 @@ WhiteSpaceModel ProtocolClient::fetch_model(int channel,
 
 UploadResponse ProtocolClient::upload(
     int channel, const std::string& contributor,
-    std::span<const campaign::Measurement> readings) {
+    std::span<const campaign::Measurement> readings,
+    const geo::EnuPoint& location, std::uint64_t request_id) {
   UploadRequest request;
   request.channel = channel;
   request.contributor = contributor;
+  request.request_id = request_id;
+  request.location = location;
   request.readings.assign(readings.begin(), readings.end());
   const Message reply = decode(transport_(encode(request)));
   if (const auto* error = std::get_if<ErrorResponse>(&reply)) {

@@ -1,5 +1,6 @@
 #include "waldo/runtime/histogram.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -13,8 +14,11 @@ std::size_t LatencyHistogram::bucket_index(std::uint64_t nanos) noexcept {
   if (nanos < 16) return static_cast<std::size_t>(nanos);
   const int msb = 63 - std::countl_zero(nanos);
   const int shift = msb - 4;
-  return (static_cast<std::size_t>(msb - 3) << 4) +
-         static_cast<std::size_t>((nanos >> shift) & 0xF);
+  const std::size_t index = (static_cast<std::size_t>(msb - 3) << 4) +
+                            static_cast<std::size_t>((nanos >> shift) & 0xF);
+  // Saturate so an arithmetic slip can never index out of bounds; the top
+  // reachable index for a 64-bit value is 975 < kBuckets.
+  return index < kBuckets ? index : kBuckets - 1;
 }
 
 double LatencyHistogram::bucket_midpoint_ns(std::size_t index) noexcept {
@@ -61,9 +65,15 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
     }
     return bucket_midpoint_ns(kBuckets - 1);
   };
-  out.p50_ns = quantile(0.50);
-  out.p90_ns = quantile(0.90);
-  out.p99_ns = quantile(0.99);
+  // Bucket midpoints can overshoot the true sample values (a single
+  // observation of 17 ns lands in a bucket whose midpoint is 17.5 ns), so
+  // clamp every quantile to the exact recorded maximum. This keeps the
+  // p50 <= p90 <= p99 <= max invariant that sparse histograms (failover
+  // stats with a handful of samples) would otherwise violate.
+  const double cap = static_cast<double>(out.max_ns);
+  out.p50_ns = std::min(quantile(0.50), cap);
+  out.p90_ns = std::min(quantile(0.90), cap);
+  out.p99_ns = std::min(quantile(0.99), cap);
   return out;
 }
 

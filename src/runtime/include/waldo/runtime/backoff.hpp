@@ -1,0 +1,84 @@
+// Deterministic exponential backoff with jitter — the retry timer behind
+// the cluster router and replication paths (waldo::cluster).
+//
+// Classic "full jitter" backoff draws its randomness from a global RNG,
+// which makes retry schedules depend on thread interleaving. Backoff
+// instead derives every delay from a (seed, stream) pair via the same
+// SplitMix64 splitting the rest of the codebase uses (see seed.hpp), so a
+// given request's retry schedule is a pure function of its identity: test
+// runs replay the exact same delays, and two racing requests never
+// synchronize their retries (distinct streams decorrelate).
+//
+// Delay for attempt n (0-based):
+//   raw      = min(cap, base * multiplier^n)        (saturating)
+//   delay    = raw * (1 - jitter) + raw * jitter * u,  u ~ U[0, 1)
+//
+// jitter = 0 gives the deterministic exponential ladder; jitter = 1 gives
+// full jitter over [0, raw).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "waldo/runtime/seed.hpp"
+
+namespace waldo::runtime {
+
+struct BackoffConfig {
+  std::chrono::nanoseconds base{1'000'000};    // first delay: 1 ms
+  std::chrono::nanoseconds cap{100'000'000};   // delays saturate at 100 ms
+  double multiplier = 2.0;
+  double jitter = 0.5;  // fraction of each delay that is randomized, [0, 1]
+  std::uint64_t seed = 0;
+};
+
+class Backoff {
+ public:
+  /// A backoff schedule for sub-stream `stream` (e.g. a request id) of the
+  /// configured seed. Same (config, stream) => same delay sequence.
+  constexpr explicit Backoff(const BackoffConfig& config,
+                             std::uint64_t stream = 0) noexcept
+      : config_(config), state_(split_seed(config.seed, stream)) {}
+
+  /// Delay to sleep before the next retry; advances the schedule.
+  [[nodiscard]] constexpr std::chrono::nanoseconds next() noexcept {
+    const double raw = raw_delay_ns(attempts_++);
+    double scaled = raw;
+    if (config_.jitter > 0.0) {
+      state_ = mix64(state_);
+      // 53 high bits -> u in [0, 1): the double-precision unit draw.
+      const double u =
+          static_cast<double>(state_ >> 11) * 0x1.0p-53;
+      scaled = raw * (1.0 - config_.jitter) + raw * config_.jitter * u;
+    }
+    return std::chrono::nanoseconds(static_cast<std::int64_t>(scaled));
+  }
+
+  /// Number of next() calls so far.
+  [[nodiscard]] constexpr std::uint64_t attempts() const noexcept {
+    return attempts_;
+  }
+
+  /// Rewinds to attempt 0 with the original stream state.
+  constexpr void reset(std::uint64_t stream = 0) noexcept {
+    attempts_ = 0;
+    state_ = split_seed(config_.seed, stream);
+  }
+
+ private:
+  [[nodiscard]] constexpr double raw_delay_ns(std::uint64_t attempt) const
+      noexcept {
+    const double cap = static_cast<double>(config_.cap.count());
+    double raw = static_cast<double>(config_.base.count());
+    for (std::uint64_t i = 0; i < attempt && raw < cap; ++i) {
+      raw *= config_.multiplier;
+    }
+    return raw < cap ? raw : cap;
+  }
+
+  BackoffConfig config_;
+  std::uint64_t state_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace waldo::runtime

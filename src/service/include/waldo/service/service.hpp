@@ -84,6 +84,14 @@ class SpectrumService final : public core::SpectrumStore {
 
   [[nodiscard]] std::string download_model(int channel) override;
 
+  /// Zero-copy variant of download_model: the cached serialized descriptor
+  /// as a shared immutable blob (serializing first on a cache miss). The
+  /// cluster tier ships these bytes to clients without re-serializing or
+  /// copying per request. Counter semantics match download_model exactly.
+  /// Throws std::out_of_range for unknown channels.
+  [[nodiscard]] std::shared_ptr<const std::string> download_descriptor(
+      int channel);
+
   core::UploadResult upload_measurements(
       int channel, std::span<const campaign::Measurement> readings,
       const std::string& contributor) override;
@@ -97,6 +105,11 @@ class SpectrumService final : public core::SpectrumStore {
 
   [[nodiscard]] std::size_t pending_count(int channel) const;
   [[nodiscard]] std::size_t staleness(int channel) const;
+
+  /// Next apply ticket the channel will assign == number of uploads
+  /// applied so far (0 for unknown channels). Replication uses this to
+  /// know where a replica's upload log ends.
+  [[nodiscard]] std::uint64_t uploads_applied(int channel) const;
 
   [[nodiscard]] ServiceCounters counters() const;
 

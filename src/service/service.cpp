@@ -132,20 +132,20 @@ std::shared_ptr<const core::WhiteSpaceModel> SpectrumService::model(
   return built;
 }
 
-std::string SpectrumService::download_model(int channel) {
+std::shared_ptr<const std::string> SpectrumService::download_descriptor(
+    int channel) {
   Shard& s = shard(channel);
   {
     // Fast path: a fresh model whose descriptor is already serialized —
-    // the download is a string copy under the shared lock.
+    // the download shares the cached bytes without copying them.
     const std::shared_lock lock(s.state_mutex);
     if (s.descriptor && s.model && s.model_generation == s.generation) {
+      std::shared_ptr<const std::string> cached = s.descriptor;
       descriptor_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      bytes_from_cache_.fetch_add(s.descriptor->size(),
-                                  std::memory_order_relaxed);
+      bytes_from_cache_.fetch_add(cached->size(), std::memory_order_relaxed);
       model_downloads_.fetch_add(1, std::memory_order_relaxed);
-      bytes_served_.fetch_add(s.descriptor->size(),
-                              std::memory_order_relaxed);
-      return *s.descriptor;
+      bytes_served_.fetch_add(cached->size(), std::memory_order_relaxed);
+      return cached;
     }
   }
 
@@ -162,7 +162,11 @@ std::string SpectrumService::download_model(int channel) {
   }
   model_downloads_.fetch_add(1, std::memory_order_relaxed);
   bytes_served_.fetch_add(fresh->size(), std::memory_order_relaxed);
-  return *fresh;
+  return fresh;
+}
+
+std::string SpectrumService::download_model(int channel) {
+  return *download_descriptor(channel);
 }
 
 core::UploadResult SpectrumService::upload_measurements(
@@ -227,6 +231,13 @@ std::size_t SpectrumService::pending_count(int channel) const {
   if (s == nullptr) return 0;
   const std::shared_lock lock(s->state_mutex);
   return s->pending.size();
+}
+
+std::uint64_t SpectrumService::uploads_applied(int channel) const {
+  Shard* s = find_shard(channel);
+  if (s == nullptr) return 0;
+  const std::shared_lock lock(s->state_mutex);
+  return s->uploads_applied;
 }
 
 std::size_t SpectrumService::staleness(int channel) const {

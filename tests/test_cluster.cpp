@@ -1,0 +1,642 @@
+// The cluster-tier contract (docs/CLUSTER.md): an N-node, R-replica
+// cluster built from tile-scoped SpectrumServices converges — under
+// concurrent client traffic, message drops/duplicates/delays, and
+// node kill/recovery — to the exact bytes a single-threaded serial
+// replay of the same upload stream produces. These tests (the fault and
+// determinism suites run under TSan in CI) enforce that, plus the
+// placement, wire-codec and router retry/failover behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "waldo/campaign/dataset_io.hpp"
+#include "waldo/campaign/wardrive.hpp"
+#include "waldo/cluster/cluster.hpp"
+#include "waldo/cluster/router.hpp"
+#include "waldo/cluster/wire.hpp"
+#include "waldo/core/protocol.hpp"
+#include "waldo/rf/environment.hpp"
+#include "waldo/runtime/seed.hpp"
+#include "waldo/sensors/sensor.hpp"
+#include "waldo/service/service.hpp"
+
+namespace waldo::cluster {
+namespace {
+
+constexpr int kChannelA = 15;
+constexpr int kChannelB = 46;
+
+// ---------------------------------------------------------------- tiling
+
+TEST(Tiling, FloorDivisionPlacesPointsAndCentersRoundTrip) {
+  const Tiling tiling(1000.0);
+  EXPECT_EQ(tiling.tile_of({0.0, 0.0}), (TileKey{0, 0}));
+  EXPECT_EQ(tiling.tile_of({999.9, 1.0}), (TileKey{0, 0}));
+  EXPECT_EQ(tiling.tile_of({1000.0, 0.0}), (TileKey{1, 0}));
+  EXPECT_EQ(tiling.tile_of({-0.5, -1500.0}), (TileKey{-1, -2}));
+  const TileKey t{3, -7};
+  EXPECT_EQ(tiling.tile_of(tiling.center(t)), t);
+}
+
+TEST(Tiling, RejectsNonPositiveTileSize) {
+  EXPECT_THROW(Tiling(0.0), std::invalid_argument);
+  EXPECT_THROW(Tiling(-5.0), std::invalid_argument);
+}
+
+TEST(Rendezvous, OrderIsADeterministicPermutation) {
+  const TileKey tile{12, -34};
+  const std::vector<NodeId> order = rendezvous_order(tile, 7);
+  ASSERT_EQ(order.size(), 7u);
+  std::set<NodeId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 7u);  // a permutation of 0..6
+  EXPECT_EQ(rendezvous_order(tile, 7), order);  // pure function
+  // The replica set is the order's prefix, truncated to the node count.
+  EXPECT_EQ(replica_set(tile, 7, 3),
+            std::vector<NodeId>(order.begin(), order.begin() + 3));
+  EXPECT_EQ(replica_set(tile, 7, 99).size(), 7u);
+}
+
+TEST(Rendezvous, GrowingTheClusterMovesOnlyAMinorityOfTiles) {
+  int moved = 0;
+  const int kTiles = 400;
+  for (int i = 0; i < kTiles; ++i) {
+    const TileKey tile{i % 20, i / 20};
+    if (replica_set(tile, 4, 1) != replica_set(tile, 5, 1)) ++moved;
+  }
+  // HRW moves ~1/5 of singleton placements when a fifth node joins; a
+  // ring-less modulo scheme would move ~4/5. Allow generous slack.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kTiles / 2);
+}
+
+TEST(Rendezvous, EveryNodeOwnsSomeTiles) {
+  std::map<NodeId, int> owned;
+  for (int i = 0; i < 64; ++i) {
+    owned[replica_set(TileKey{i % 8, i / 8}, 4, 1)[0]]++;
+  }
+  ASSERT_EQ(owned.size(), 4u);
+  for (const auto& [node, count] : owned) EXPECT_GT(count, 0);
+}
+
+// ------------------------------------------------------------ wire codec
+
+TEST(ClusterWire, EnvelopeRoundTripsArbitraryBytes) {
+  const Envelope e{.verb = "repl",
+                   .from = 3,
+                   .tile = TileKey{-5, 17},
+                   .body = std::string("bin\0\n\xff data", 11)};
+  const Envelope d = decode_envelope(encode_envelope(e));
+  EXPECT_EQ(d.verb, "repl");
+  EXPECT_EQ(d.from, 3u);
+  EXPECT_EQ(d.tile, e.tile);
+  EXPECT_EQ(d.body, e.body);
+}
+
+TEST(ClusterWire, RejectsMalformedEnvelopes) {
+  EXPECT_THROW((void)decode_envelope("not clstr"), std::runtime_error);
+  EXPECT_THROW((void)decode_envelope("CLSTR/1 wsnp 0 0 0"),
+               std::runtime_error);  // no body newline
+  // Declared length larger than the actual body.
+  EXPECT_THROW((void)decode_envelope("CLSTR/1 wsnp 0 0 0 99\nshort"),
+               std::runtime_error);
+  // Trailing bytes beyond the declared length.
+  const std::string valid = encode_envelope(
+      {.verb = "ok", .from = 1, .tile = {}, .body = "abc"});
+  EXPECT_THROW((void)decode_envelope(valid + "x"), std::runtime_error);
+  // Non-numeric node id.
+  EXPECT_THROW((void)decode_envelope("CLSTR/1 ok zz 0 0 0\n"),
+               std::runtime_error);
+}
+
+TEST(ClusterWire, ReplEntryAndSnapshotRoundTrip) {
+  ReplEntry entry{.channel = 46,
+                  .ticket = 12,
+                  .request_id = 0xDEADBEEFu,
+                  .upload_wire = "WSNP/1 upload_request 0\n"};
+  const ReplEntry decoded = decode_repl_entry(encode_repl_entry(entry));
+  EXPECT_EQ(decoded.channel, 46);
+  EXPECT_EQ(decoded.ticket, 12u);
+  EXPECT_EQ(decoded.request_id, 0xDEADBEEFu);
+  EXPECT_EQ(decoded.upload_wire, entry.upload_wire);
+
+  TileSnapshot snapshot;
+  snapshot.campaign_csvs = {"csv,one\n", "csv,two\n"};
+  snapshot.log = {entry, entry};
+  const TileSnapshot back =
+      decode_tile_snapshot(encode_tile_snapshot(snapshot));
+  EXPECT_EQ(back.campaign_csvs, snapshot.campaign_csvs);
+  ASSERT_EQ(back.log.size(), 2u);
+  EXPECT_EQ(back.log[1].upload_wire, entry.upload_wire);
+  EXPECT_THROW(
+      (void)decode_tile_snapshot(encode_tile_snapshot(snapshot) + "junk"),
+      std::runtime_error);
+}
+
+TEST(FaultInjector, ScheduleIsAPureFunctionOfSeed) {
+  const FaultPlan plan{.drop_request = 0.3,
+                       .drop_response = 0.2,
+                       .duplicate_request = 0.2,
+                       .delay = 0.5,
+                       .max_delay_us = 50,
+                       .seed = 99};
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  int faults = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto da = a.next();
+    const auto db = b.next();
+    EXPECT_EQ(da.drop_request, db.drop_request);
+    EXPECT_EQ(da.drop_response, db.drop_response);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.delay_us, db.delay_us);
+    faults += da.drop_request + da.drop_response + da.duplicate;
+  }
+  EXPECT_GT(faults, 0);
+
+  FaultInjector quiet;  // all-zero plan: never interferes
+  for (int i = 0; i < 50; ++i) {
+    const auto d = quiet.next();
+    EXPECT_FALSE(d.drop_request || d.drop_response || d.duplicate);
+    EXPECT_EQ(d.delay_us, 0u);
+  }
+}
+
+// ------------------------------------------------------------- harness
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  static constexpr double kTileSize = 200'000.0;
+  /// Offset that puts the second campaign area in a different tile.
+  static constexpr double kAreaOffset = 400'000.0;
+
+  static void SetUpTestSuite() {
+    env_ = new rf::Environment(rf::make_metro_environment());
+    const geo::DrivePath route = campaign::standard_route(*env_, 500, 29);
+    sensors::Sensor usrp(sensors::usrp_b200_spec(), 30);
+    usrp.calibrate();
+    data_a_ = new campaign::ChannelDataset(
+        campaign::collect_channel(*env_, usrp, kChannelA, route.readings));
+    data_b_ = new campaign::ChannelDataset(
+        campaign::collect_channel(*env_, usrp, kChannelB, route.readings));
+    data_a_far_ = new campaign::ChannelDataset(translate(*data_a_));
+    data_b_far_ = new campaign::ChannelDataset(translate(*data_b_));
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    delete data_a_;
+    delete data_b_;
+    delete data_a_far_;
+    delete data_b_far_;
+    env_ = nullptr;
+    data_a_ = nullptr;
+    data_b_ = nullptr;
+    data_a_far_ = nullptr;
+    data_b_far_ = nullptr;
+  }
+
+  static core::ModelConstructorConfig fast_config() {
+    core::ModelConstructorConfig cfg;
+    cfg.classifier = "naive_bayes";
+    cfg.num_localities = 3;
+    cfg.num_features = 2;
+    return cfg;
+  }
+
+  /// The same sweep conducted in a distant metro area (another tile).
+  static campaign::ChannelDataset translate(
+      const campaign::ChannelDataset& ds) {
+    campaign::ChannelDataset out = ds;
+    for (campaign::Measurement& m : out.readings) {
+      m.position.east_m += kAreaOffset;
+    }
+    return out;
+  }
+
+  static ClusterConfig base_config(NodeId nodes, std::size_t replication) {
+    ClusterConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.replication = replication;
+    cfg.tile_size_m = kTileSize;
+    cfg.constructor_config = fast_config();
+    return cfg;
+  }
+
+  /// A small honest-looking upload batch derived from stored readings.
+  static std::vector<campaign::Measurement> make_batch(
+      const campaign::ChannelDataset& data, std::mt19937_64& rng) {
+    std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
+    std::uniform_real_distribution<double> jitter(-40.0, 40.0);
+    std::uniform_real_distribution<double> noise(-2.0, 2.0);
+    std::vector<campaign::Measurement> batch;
+    for (int i = 0; i < 3; ++i) {
+      campaign::Measurement m = data.readings[pick(rng)];
+      m.position.east_m += jitter(rng);
+      m.position.north_m += jitter(rng);
+      m.rss_dbm += noise(rng);
+      m.iq.clear();
+      batch.push_back(m);
+    }
+    return batch;
+  }
+
+  /// The batch as the server will see it: round-tripped through the WSNP
+  /// wire (which drops server-only fields and normalises the doubles).
+  static std::vector<campaign::Measurement> wire_roundtrip(
+      int channel, std::vector<campaign::Measurement> batch) {
+    core::UploadRequest request;
+    request.channel = channel;
+    request.contributor = "rt";
+    request.readings = std::move(batch);
+    return std::get<core::UploadRequest>(core::decode(core::encode(request)))
+        .readings;
+  }
+
+  static std::string csv_bytes(const campaign::ChannelDataset& ds) {
+    std::ostringstream os;
+    campaign::write_csv(os, ds);
+    return os.str();
+  }
+
+  struct RecordedUpload {
+    TileKey tile;
+    int channel = 0;
+    std::string contributor;
+    std::vector<campaign::Measurement> readings;
+    core::UploadResponse response;
+  };
+
+  /// The central theorem: replaying each (tile, channel)'s acknowledged
+  /// uploads in ticket order through a fresh single-threaded service
+  /// reproduces every replica byte-for-byte — datasets, cached model
+  /// descriptors, ledgers and log sizes.
+  static void expect_matches_serial_replay(
+      Cluster& cluster, const std::vector<RecordedUpload>& uploads) {
+    for (const TileKey tile : cluster.tiles()) {
+      service::SpectrumService serial(cluster.config().constructor_config,
+                                      cluster.config().labeling,
+                                      cluster.config().upload_policy);
+      serial.ingest_campaign(cluster.normalized_campaign(tile, 0));
+      serial.ingest_campaign(cluster.normalized_campaign(tile, 1));
+
+      std::map<int, std::vector<const RecordedUpload*>> by_channel;
+      for (const RecordedUpload& rec : uploads) {
+        if (rec.tile == tile) by_channel[rec.channel].push_back(&rec);
+      }
+      for (auto& [channel, records] : by_channel) {
+        std::sort(records.begin(), records.end(),
+                  [](const RecordedUpload* a, const RecordedUpload* b) {
+                    return a->response.ticket < b->response.ticket;
+                  });
+        // Tickets are a dense sequence: nothing lost, nothing applied
+        // twice — even when retries and duplicated frames were in play.
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          ASSERT_EQ(records[i]->response.ticket, i) << "channel " << channel;
+        }
+        for (const RecordedUpload* rec : records) {
+          const core::UploadResult serial_result = serial.upload_measurements(
+              rec->channel, rec->readings, rec->contributor);
+          EXPECT_EQ(serial_result.accepted, rec->response.accepted);
+          EXPECT_EQ(serial_result.rejected, rec->response.rejected);
+          EXPECT_EQ(serial_result.pending, rec->response.pending);
+          EXPECT_EQ(serial_result.ticket, rec->response.ticket);
+        }
+      }
+
+      for (const int channel : {kChannelA, kChannelB}) {
+        const std::string want_csv = csv_bytes(serial.dataset_snapshot(channel));
+        const std::string want_descriptor =
+            *serial.download_descriptor(channel);
+        for (const NodeId n : cluster.replicas_of(tile)) {
+          EXPECT_EQ(cluster.node(n).dataset_csv(tile, channel), want_csv)
+              << "dataset diverged: node " << n << " channel " << channel;
+          EXPECT_EQ(cluster.node(n).descriptor_bytes(tile, channel),
+                    want_descriptor)
+              << "descriptor diverged: node " << n << " channel " << channel;
+          EXPECT_EQ(cluster.node(n).log_size(tile, channel),
+                    by_channel[channel].size())
+              << "log diverged: node " << n << " channel " << channel;
+        }
+      }
+    }
+  }
+
+  static rf::Environment* env_;
+  static campaign::ChannelDataset* data_a_;
+  static campaign::ChannelDataset* data_b_;
+  static campaign::ChannelDataset* data_a_far_;
+  static campaign::ChannelDataset* data_b_far_;
+};
+
+rf::Environment* ClusterFixture::env_ = nullptr;
+campaign::ChannelDataset* ClusterFixture::data_a_ = nullptr;
+campaign::ChannelDataset* ClusterFixture::data_b_ = nullptr;
+campaign::ChannelDataset* ClusterFixture::data_a_far_ = nullptr;
+campaign::ChannelDataset* ClusterFixture::data_b_far_ = nullptr;
+
+// ------------------------------------------------------- basic routing
+
+TEST_F(ClusterFixture, RouterServesCachedDescriptorBytes) {
+  Cluster cluster(base_config(1, 1));
+  const TileKey tile = cluster.ingest_campaign(*data_a_);
+  cluster.ingest_campaign(*data_b_);
+  ClusterRouter router(cluster.topology(), cluster.transport(),
+                       cluster.membership());
+  const geo::EnuPoint where = cluster.topology().tiling.center(tile);
+
+  const std::string descriptor = router.download_descriptor(kChannelA, where);
+  EXPECT_FALSE(descriptor.empty());
+  // The router ships the node's cached blob verbatim — no reserialization.
+  EXPECT_EQ(descriptor, cluster.node(0).descriptor_bytes(tile, kChannelA));
+
+  std::mt19937_64 rng(7);
+  const auto batch =
+      wire_roundtrip(kChannelA, make_batch(*data_a_, rng));
+  const core::UploadResponse response =
+      router.upload(kChannelA, where, "alice", batch);
+  EXPECT_EQ(response.accepted + response.rejected + response.pending, 3u);
+  EXPECT_EQ(router.stats().requests, 2u);
+  EXPECT_EQ(router.stats().failures, 0u);
+}
+
+TEST_F(ClusterFixture, PermanentErrorsFailFastWithoutRetry) {
+  Cluster cluster(base_config(1, 1));
+  const TileKey tile = cluster.ingest_campaign(*data_a_);
+  ClusterRouter router(cluster.topology(), cluster.transport(),
+                       cluster.membership());
+  const geo::EnuPoint where = cluster.topology().tiling.center(tile);
+
+  // Channel 33 was never bootstrapped: kUnknownChannel is permanent, so
+  // the router must throw immediately instead of burning the deadline.
+  EXPECT_THROW((void)router.download_descriptor(33, where),
+               std::runtime_error);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST_F(ClusterFixture, NonReplicaNodeFencesForeignTiles) {
+  Cluster cluster(base_config(4, 1));
+  const TileKey tile = cluster.ingest_campaign(*data_a_);
+  const NodeId owner = cluster.replicas_of(tile)[0];
+  NodeId outsider = 0;
+  while (outsider == owner) ++outsider;
+
+  const std::string wire = encode_envelope(
+      {.verb = "wsnp",
+       .from = kClientNode,
+       .tile = tile,
+       .body = core::encode(core::ModelRequest{.channel = kChannelA})});
+  const Envelope reply =
+      decode_envelope(cluster.node(outsider).handle(wire));
+  const core::Message message = core::decode(reply.body);
+  const auto* error = std::get_if<core::ErrorResponse>(&message);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, core::ErrorCode::kNotOwner);
+  EXPECT_TRUE(core::is_retryable(error->code));
+  EXPECT_EQ(cluster.node(outsider).stats().rejected_not_owner, 1u);
+}
+
+TEST_F(ClusterFixture, DuplicateUploadFramesHitTheDedupTable) {
+  Cluster cluster(base_config(1, 1));
+  const TileKey tile = cluster.ingest_campaign(*data_a_);
+
+  std::mt19937_64 rng(11);
+  core::UploadRequest request;
+  request.channel = kChannelA;
+  request.contributor = "bob";
+  request.request_id = 0x5151u;
+  request.readings = make_batch(*data_a_, rng);
+  const std::string envelope =
+      encode_envelope({.verb = "wsnp",
+                       .from = kClientNode,
+                       .tile = tile,
+                       .body = core::encode(request)});
+
+  const std::string first = cluster.transport().send(0, envelope);
+  const std::string second = cluster.transport().send(0, envelope);
+  // Byte-identical replies: the retransmit returned the original ledger
+  // instead of applying twice.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cluster.node(0).stats().dedup_hits, 1u);
+  EXPECT_EQ(cluster.node(0).log_size(tile, kChannelA), 1u);
+}
+
+// ---------------------------------------------------------- determinism
+
+struct Shape {
+  NodeId nodes;
+  std::size_t replication;
+};
+
+class ClusterDeterminism : public ClusterFixture,
+                           public ::testing::WithParamInterface<Shape> {};
+
+// The acceptance bar: for every cluster shape, concurrent routed traffic
+// leaves all replicas byte-identical to a single-node serial replay.
+TEST_P(ClusterDeterminism, ConcurrentTrafficMatchesSerialReplay) {
+  const auto [nodes, replication] = GetParam();
+  Cluster cluster(base_config(nodes, replication));
+  const TileKey tile_near = cluster.ingest_campaign(*data_a_);
+  ASSERT_EQ(cluster.ingest_campaign(*data_b_), tile_near);
+  const TileKey tile_far = cluster.ingest_campaign(*data_a_far_);
+  ASSERT_EQ(cluster.ingest_campaign(*data_b_far_), tile_far);
+  ASSERT_NE(tile_near, tile_far);
+
+  ClusterRouter router(cluster.topology(), cluster.transport(),
+                       cluster.membership());
+  const Tiling tiling = cluster.topology().tiling;
+
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 12;
+  std::vector<std::vector<RecordedUpload>> recorded(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937_64 rng(runtime::split_seed(4242, t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const bool far = (rng() % 2) == 1;
+        const int channel = (rng() % 2) == 1 ? kChannelB : kChannelA;
+        const TileKey tile = far ? tile_far : tile_near;
+        const geo::EnuPoint where = tiling.center(tile);
+        const campaign::ChannelDataset& source =
+            far ? (channel == kChannelA ? *data_a_far_ : *data_b_far_)
+                : (channel == kChannelA ? *data_a_ : *data_b_);
+        if (i % 3 == 2) {
+          EXPECT_FALSE(router.download_descriptor(channel, where).empty());
+        } else {
+          RecordedUpload rec;
+          rec.tile = tile;
+          rec.channel = channel;
+          rec.contributor = "client" + std::to_string(t);
+          rec.readings = wire_roundtrip(channel, make_batch(source, rng));
+          rec.response =
+              router.upload(channel, where, rec.contributor, rec.readings);
+          recorded[t].push_back(std::move(rec));
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  std::vector<RecordedUpload> all;
+  for (auto& per_thread : recorded) {
+    for (auto& rec : per_thread) all.push_back(std::move(rec));
+  }
+  expect_matches_serial_replay(cluster, all);
+
+  EXPECT_EQ(router.stats().failures, 0u);
+  for (NodeId n = 0; n < nodes; ++n) {
+    EXPECT_EQ(cluster.node(n).stats().ticket_mismatches, 0u);
+    EXPECT_EQ(cluster.node(n).stats().repl_abandoned, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ClusterDeterminism,
+                         ::testing::Values(Shape{1, 1}, Shape{4, 1},
+                                           Shape{4, 2}),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.nodes) +
+                                  "R" +
+                                  std::to_string(info.param.replication);
+                         });
+
+// ------------------------------------------------------ fault tolerance
+
+// Kill the busiest tile's primary mid-traffic on a lossy, reordering
+// fabric, recover it while clients keep going, and require: every client
+// request eventually succeeded, the revived node resynced byte-identical,
+// and the whole cluster still equals the serial replay.
+TEST_F(ClusterFixture, SurvivesPrimaryKillAndRecoveryUnderFaults) {
+  ClusterConfig cfg = base_config(4, 2);
+  cfg.faults = FaultPlan{.drop_request = 0.08,
+                         .drop_response = 0.05,
+                         .duplicate_request = 0.05,
+                         .delay = 0.25,
+                         .max_delay_us = 200,
+                         .seed = 77};
+  Cluster cluster(std::move(cfg));
+  const TileKey tile_near = cluster.ingest_campaign(*data_a_);
+  cluster.ingest_campaign(*data_b_);
+  const TileKey tile_far = cluster.ingest_campaign(*data_a_far_);
+  cluster.ingest_campaign(*data_b_far_);
+
+  RouterConfig router_config;
+  router_config.deadline = std::chrono::milliseconds(60'000);  // TSan slack
+  router_config.backoff.base = std::chrono::nanoseconds{100'000};
+  router_config.backoff.cap = std::chrono::nanoseconds{2'000'000};
+  ClusterRouter router(cluster.topology(), cluster.transport(),
+                       cluster.membership(), router_config);
+  const Tiling tiling = cluster.topology().tiling;
+
+  const NodeId victim = cluster.replicas_of(tile_near)[0];
+
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 16;
+  std::vector<std::vector<RecordedUpload>> recorded(kThreads);
+  std::vector<std::string> trouble[kThreads];
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937_64 rng(runtime::split_seed(1717, t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const bool far = (rng() % 4) == 3;  // keep the victim's tile busy
+        const int channel = (rng() % 2) == 1 ? kChannelB : kChannelA;
+        const TileKey tile = far ? tile_far : tile_near;
+        const geo::EnuPoint where = tiling.center(tile);
+        const campaign::ChannelDataset& source =
+            far ? (channel == kChannelA ? *data_a_far_ : *data_b_far_)
+                : (channel == kChannelA ? *data_a_ : *data_b_);
+        try {
+          if (i % 4 == 3) {
+            EXPECT_FALSE(router.download_descriptor(channel, where).empty());
+          } else {
+            RecordedUpload rec;
+            rec.tile = tile;
+            rec.channel = channel;
+            rec.contributor = "client" + std::to_string(t);
+            rec.readings = wire_roundtrip(channel, make_batch(source, rng));
+            rec.response =
+                router.upload(channel, where, rec.contributor, rec.readings);
+            recorded[t].push_back(std::move(rec));
+          }
+        } catch (const std::exception& e) {
+          trouble[t].push_back(e.what());
+        }
+      }
+    });
+  }
+
+  // Fail-stop the busy tile's primary mid-stream, then bring it back
+  // while traffic is still flowing; recover() returns only once the node
+  // has resynced every owned tile and is ready again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  cluster.kill(victim);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  cluster.recover(victim);
+
+  for (std::thread& c : clients) c.join();
+
+  // No request was lost: every upload and download either succeeded
+  // directly or via retry/failover.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(trouble[t].empty())
+        << "thread " << t << " first failure: " << trouble[t].front();
+  }
+  EXPECT_EQ(router.stats().failures, 0u);
+  EXPECT_GE(cluster.node(victim).stats().snapshots_installed, 1u);
+
+  std::vector<RecordedUpload> all;
+  for (auto& per_thread : recorded) {
+    for (auto& rec : per_thread) all.push_back(std::move(rec));
+  }
+  // The revived node is one of the replicas this walks: byte-identity
+  // includes the recovered state.
+  expect_matches_serial_replay(cluster, all);
+
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(cluster.node(n).stats().ticket_mismatches, 0u);
+    EXPECT_EQ(cluster.node(n).stats().repl_abandoned, 0u);
+  }
+}
+
+// With replication == 1 a killed node's crowd uploads are gone by
+// construction; recovery must still restore the trusted bootstrap
+// campaigns and resume service (the documented degraded mode).
+TEST_F(ClusterFixture, ReplicationOneRecoveryRestoresBootstrapState) {
+  Cluster cluster(base_config(2, 1));
+  const TileKey tile = cluster.ingest_campaign(*data_a_);
+  cluster.ingest_campaign(*data_b_);
+  ClusterRouter router(cluster.topology(), cluster.transport(),
+                       cluster.membership());
+  const geo::EnuPoint where = cluster.topology().tiling.center(tile);
+
+  std::mt19937_64 rng(3);
+  const auto batch = wire_roundtrip(kChannelA, make_batch(*data_a_, rng));
+  (void)router.upload(kChannelA, where, "alice", batch);
+
+  const NodeId owner = cluster.replicas_of(tile)[0];
+  cluster.kill(owner);
+  cluster.recover(owner);
+
+  // The upload died with the single copy; the bootstrap campaigns did not.
+  EXPECT_EQ(cluster.node(owner).log_size(tile, kChannelA), 0u);
+  service::SpectrumService pristine(fast_config());
+  pristine.ingest_campaign(cluster.normalized_campaign(tile, 0));
+  pristine.ingest_campaign(cluster.normalized_campaign(tile, 1));
+  EXPECT_EQ(cluster.node(owner).dataset_csv(tile, kChannelA),
+            csv_bytes(pristine.dataset_snapshot(kChannelA)));
+  // And the tile serves again.
+  EXPECT_FALSE(router.download_descriptor(kChannelA, where).empty());
+}
+
+}  // namespace
+}  // namespace waldo::cluster

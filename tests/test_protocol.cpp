@@ -103,6 +103,58 @@ TEST(ProtocolWire, RejectsImplausibleUploadCount) {
       std::runtime_error);
 }
 
+// Upload requests carry a dedup identity and the client's location so a
+// routing tier can address the right shard and recognise retries.
+TEST(ProtocolWire, UploadRequestIdAndLocationRoundTrip) {
+  UploadRequest request;
+  request.channel = 15;
+  request.contributor = "carol";
+  request.request_id = 0xFEEDFACE12345678ull;
+  request.location = geo::EnuPoint{-1250.25, 9876.5};
+  const Message decoded = decode(encode(request));
+  const auto* r = std::get_if<UploadRequest>(&decoded);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->request_id, 0xFEEDFACE12345678ull);
+  EXPECT_DOUBLE_EQ(r->location.east_m, -1250.25);
+  EXPECT_DOUBLE_EQ(r->location.north_m, 9876.5);
+}
+
+TEST(ProtocolWire, ErrorCodeAndChannelRoundTrip) {
+  const ErrorResponse err{.reason = "channel 33 is not provisioned",
+                          .code = ErrorCode::kUnknownChannel,
+                          .channel = 33};
+  const Message decoded = decode(encode(err));
+  const auto* e = std::get_if<ErrorResponse>(&decoded);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->code, ErrorCode::kUnknownChannel);
+  EXPECT_EQ(e->channel, 33);
+  EXPECT_EQ(e->reason, "channel 33 is not provisioned");
+}
+
+TEST(ProtocolWire, LegacyErrorBodiesDecodeAsUnspecified) {
+  // Pre-code servers sent the bare reason line. A reason whose first token
+  // is not an integer must fall back to the legacy interpretation.
+  const Message decoded = decode("WSNP/1 error 20\nchannel unavailable\n");
+  const auto* e = std::get_if<ErrorResponse>(&decoded);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->code, ErrorCode::kUnspecified);
+  EXPECT_EQ(e->channel, 0);
+  EXPECT_EQ(e->reason, "channel unavailable");
+}
+
+TEST(ProtocolWire, RetryabilityPartitionsTheErrorCodes) {
+  // A retry cannot fix a request the server understood and rejected…
+  EXPECT_FALSE(is_retryable(ErrorCode::kUnspecified));
+  EXPECT_FALSE(is_retryable(ErrorCode::kMalformed));
+  EXPECT_FALSE(is_retryable(ErrorCode::kUnknownChannel));
+  EXPECT_FALSE(is_retryable(ErrorCode::kBadRequest));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+  // …but placement and availability change under the client's feet.
+  EXPECT_TRUE(is_retryable(ErrorCode::kNotOwner));
+  EXPECT_TRUE(is_retryable(ErrorCode::kNotReady));
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+}
+
 TEST(ProtocolWire, UploadResponseTicketRoundTrips) {
   const UploadResponse up{
       .accepted = 3, .rejected = 1, .pending = 2, .ticket = 41};
@@ -175,6 +227,41 @@ TEST_F(ProtocolFixture, UploadsFlowThroughTheProtocol) {
   const UploadResponse response = client.upload(46, "bob", readings);
   EXPECT_EQ(response.accepted + response.rejected + response.pending, 10u);
   EXPECT_GT(response.accepted, 0u);
+}
+
+// Regression for the serving path: a failing request must come back with
+// the machine-readable code AND the channel it failed on, so routers can
+// distinguish "retry elsewhere" from "give up" without parsing prose.
+TEST_F(ProtocolFixture, ServerErrorsCarryCodeAndFailingChannel) {
+  ProtocolServer server(*db_);
+
+  const Message model_err =
+      decode(server.handle(encode(ModelRequest{.channel = 33})));
+  const auto* e1 = std::get_if<ErrorResponse>(&model_err);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->code, ErrorCode::kUnknownChannel);
+  EXPECT_EQ(e1->channel, 33);
+  EXPECT_FALSE(is_retryable(e1->code));
+
+  UploadRequest upload;
+  upload.channel = 34;
+  upload.contributor = "mallory";
+  const Message upload_err = decode(server.handle(encode(upload)));
+  const auto* e2 = std::get_if<ErrorResponse>(&upload_err);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->code, ErrorCode::kUnknownChannel);
+  EXPECT_EQ(e2->channel, 34);
+
+  const Message garbage_err = decode(server.handle("complete garbage"));
+  const auto* e3 = std::get_if<ErrorResponse>(&garbage_err);
+  ASSERT_NE(e3, nullptr);
+  EXPECT_EQ(e3->code, ErrorCode::kMalformed);
+
+  const Message wrong_err =
+      decode(server.handle(encode(UploadResponse{.accepted = 1})));
+  const auto* e4 = std::get_if<ErrorResponse>(&wrong_err);
+  ASSERT_NE(e4, nullptr);
+  EXPECT_EQ(e4->code, ErrorCode::kBadRequest);
 }
 
 TEST_F(ProtocolFixture, ServerSurvivesGarbageAndWrongMessages) {

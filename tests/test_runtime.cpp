@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <random>
 #include <set>
 #include <stdexcept>
@@ -18,6 +20,7 @@
 #include "waldo/ml/cross_validation.hpp"
 #include "waldo/ml/kmeans.hpp"
 #include "waldo/rf/environment.hpp"
+#include "waldo/runtime/backoff.hpp"
 #include "waldo/runtime/histogram.hpp"
 #include "waldo/runtime/parallel.hpp"
 #include "waldo/runtime/seed.hpp"
@@ -245,6 +248,83 @@ TEST(LatencyHistogram, ConcurrentRecordsAllCounted) {
 
   h.reset();
   EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+// Regression: bucket-midpoint interpolation reported quantiles above the
+// observed maximum (a single 17 ns sample produced p99 = 17.5 ns), and a
+// value past the last octave indexed out of the bucket array. Quantiles
+// now clamp to max_ns and the bucket index saturates.
+TEST(LatencyHistogram, SingleSampleQuantilesNeverExceedTheSample) {
+  runtime::LatencyHistogram h;
+  h.record(17);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max_ns, 17u);
+  EXPECT_DOUBLE_EQ(snap.p50_ns, 17.0);
+  EXPECT_DOUBLE_EQ(snap.p90_ns, 17.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ns, 17.0);
+}
+
+TEST(LatencyHistogram, ValuesBeyondTheLastBucketSaturate) {
+  runtime::LatencyHistogram h;
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(1);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.max_ns, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_LE(snap.p99_ns, static_cast<double>(snap.max_ns));
+  EXPECT_GE(snap.p99_ns, 1e15);  // landed in the top octave, not bucket 0
+}
+
+// --- backoff -------------------------------------------------------------
+
+TEST(Backoff, SameStreamReplaysTheSameSchedule) {
+  const runtime::BackoffConfig config{.seed = 42};
+  runtime::Backoff a(config, 7);
+  runtime::Backoff b(config, 7);
+  runtime::Backoff other(config, 8);
+  bool diverged = false;
+  for (int i = 0; i < 8; ++i) {
+    const auto da = a.next();
+    EXPECT_EQ(da, b.next());
+    diverged = diverged || (da != other.next());
+  }
+  EXPECT_TRUE(diverged);  // distinct streams decorrelate
+  EXPECT_EQ(a.attempts(), 8u);
+  a.reset(7);
+  b.reset(7);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Backoff, DelaysGrowExponentiallyAndSaturateAtTheCap) {
+  runtime::BackoffConfig config;
+  config.base = std::chrono::nanoseconds{1'000};
+  config.cap = std::chrono::nanoseconds{64'000};
+  config.multiplier = 2.0;
+  config.jitter = 0.0;  // deterministic ladder
+  runtime::Backoff backoff(config);
+  std::int64_t expected = 1'000;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(backoff.next().count(), expected);
+    expected *= 2;
+  }
+  // 2^6 * 1000 = 64000 hits the cap; everything after stays there.
+  EXPECT_EQ(backoff.next().count(), 64'000);
+  EXPECT_EQ(backoff.next().count(), 64'000);
+}
+
+TEST(Backoff, JitterStaysInsideTheConfiguredBand) {
+  runtime::BackoffConfig config;
+  config.base = std::chrono::nanoseconds{10'000};
+  config.cap = std::chrono::nanoseconds{10'000};  // freeze raw at 10 us
+  config.jitter = 0.5;
+  config.seed = 3;
+  runtime::Backoff backoff(config, 1);
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t d = backoff.next().count();
+    EXPECT_GE(d, 5'000);   // raw * (1 - jitter)
+    EXPECT_LT(d, 10'000);  // u < 1 keeps it strictly under raw
+  }
 }
 
 // --- determinism: serial == parallel across the pipeline -----------------

@@ -411,5 +411,74 @@ TEST_F(ServiceFixture, StressMatchesSerialReplay) {
   EXPECT_LE(stats.p50_handle_us, stats.p99_handle_us);
 }
 
+// stats() is documented as callable at any time: hammer it from reader
+// threads while request traffic is in flight (TSan guards the memory
+// model) and require every counter to be monotone across snapshots, with
+// exact totals once the traffic quiesces. Counters update independently,
+// so no cross-field invariant is asserted mid-flight — only at the end.
+TEST_F(ServiceFixture, StatsSnapshotsAreSafeAndMonotoneUnderLoad) {
+  SpectrumService service(fast_config());
+  bootstrap(service);
+  ServiceFrontend frontend(service, 2);
+
+  constexpr int kRequests = 120;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  std::vector<std::string> violations[2];
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&frontend, &done, &violations, r] {
+      ServiceStats last;
+      while (!done.load(std::memory_order_acquire)) {
+        const ServiceStats now = frontend.stats();
+        if (now.requests_served < last.requests_served ||
+            now.error_responses < last.error_responses ||
+            now.bytes_served < last.bytes_served ||
+            now.model_downloads < last.model_downloads ||
+            now.uploads_accepted < last.uploads_accepted ||
+            now.descriptor_cache_hits < last.descriptor_cache_hits ||
+            now.descriptor_cache_misses < last.descriptor_cache_misses) {
+          violations[r].push_back("counter went backwards");
+        }
+        if (now.p50_handle_us > now.p99_handle_us) {
+          violations[r].push_back("p50 above p99");
+        }
+        last = now;
+      }
+    });
+  }
+
+  std::mt19937_64 rng(91);
+  std::vector<std::future<std::string>> inflight;
+  for (int i = 0; i < kRequests; ++i) {
+    if (i % 3 == 0) {
+      core::UploadRequest upload;
+      upload.channel = kChannelA;
+      upload.contributor = "dora";
+      upload.readings = make_batch(*data_a_, rng);
+      inflight.push_back(frontend.submit(core::encode(upload)));
+    } else {
+      inflight.push_back(frontend.submit(core::encode(
+          core::ModelRequest{.channel = (i % 3 == 1) ? kChannelA
+                                                     : kChannelB})));
+    }
+  }
+  for (auto& f : inflight) (void)f.get();
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_TRUE(violations[r].empty())
+        << "reader " << r << ": " << violations[r].front();
+  }
+  const ServiceStats final_stats = frontend.stats();
+  EXPECT_EQ(final_stats.requests_served, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(final_stats.error_responses, 0u);
+  // At quiescence the cache split must reconcile with the download count.
+  EXPECT_EQ(final_stats.descriptor_cache_hits +
+                final_stats.descriptor_cache_misses,
+            final_stats.model_downloads);
+  EXPECT_GT(final_stats.bytes_served, 0u);
+}
+
 }  // namespace
 }  // namespace waldo::service
